@@ -1,0 +1,59 @@
+package pegasus
+
+import (
+	"fmt"
+
+	"pegasus/internal/core"
+	"pegasus/internal/distributed"
+	"pegasus/internal/partition"
+)
+
+// Distributed "communication-free" multi-query answering (§IV of the paper):
+// partition the node set over m machines, give each machine a summary
+// personalized to its part (or a size-bounded local subgraph), and route
+// every query to the machine owning the query node — no inter-machine
+// communication at query time.
+
+type (
+	// Cluster is a set of machines plus the node→machine routing table.
+	Cluster = distributed.Cluster
+	// Machine is one worker holding a summary or a subgraph.
+	Machine = distributed.Machine
+)
+
+// Partitioning method names accepted by PartitionGraph.
+const (
+	PartitionLouvain = string(partition.MethodLouvain)
+	PartitionBLP     = string(partition.MethodBLP)
+	PartitionSHPI    = string(partition.MethodSHPI)
+	PartitionSHPII   = string(partition.MethodSHPII)
+	PartitionSHPKL   = string(partition.MethodSHPKL)
+	PartitionRandom  = string(partition.MethodRandom)
+)
+
+// PartitionGraph divides the nodes of g into m balanced parts using the
+// named method ("louvain", "blp", "shpi", "shpii", "shpkl" or "random").
+func PartitionGraph(g *Graph, m int, method string, seed int64) ([]uint32, error) {
+	switch partition.Method(method) {
+	case partition.MethodLouvain, partition.MethodBLP, partition.MethodSHPI,
+		partition.MethodSHPII, partition.MethodSHPKL, partition.MethodRandom:
+		return partition.Partition(g, m, partition.Method(method), seed), nil
+	default:
+		return nil, fmt.Errorf("pegasus: unknown partition method %q", method)
+	}
+}
+
+// BuildSummaryCluster builds the Alg. 3 cluster: machine i holds a PeGaSus
+// summary of g personalized to part i (labels in [0,m)), each within
+// budgetBits. cfg carries the remaining PeGaSus settings (α, β, seed, ...).
+func BuildSummaryCluster(g *Graph, labels []uint32, m int, budgetBits float64, cfg Config) (*Cluster, error) {
+	return distributed.BuildSummaryCluster(g, labels, m, budgetBits,
+		distributed.PegasusSummarizer(core.Config(cfg)))
+}
+
+// BuildSubgraphCluster builds the graph-partitioning alternative of §IV:
+// machine i holds the subgraph of size ≤ budgetBits composed of the edges
+// closest to part i.
+func BuildSubgraphCluster(g *Graph, labels []uint32, m int, budgetBits float64) (*Cluster, error) {
+	return distributed.BuildSubgraphCluster(g, labels, m, budgetBits)
+}

@@ -1,0 +1,127 @@
+// Command pegasus-query answers node-similarity queries on a saved summary
+// graph and (optionally) compares them with exact answers on the original
+// graph.
+//
+// Usage:
+//
+//	pegasus-query -summary s.bin -type rwr -node 42
+//	pegasus-query -summary s.bin -graph g.txt -type hop -node 42 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pegasus"
+)
+
+func main() {
+	var (
+		sumPath = flag.String("summary", "", "summary file written by the pegasus tool (required)")
+		gPath   = flag.String("graph", "", "original edge list; enables accuracy comparison")
+		qtype   = flag.String("type", "rwr", "query type: rwr | hop | php | neighbors")
+		node    = flag.Uint("node", 0, "query node")
+		top     = flag.Int("top", 10, "print the top-k results")
+	)
+	flag.Parse()
+	if *sumPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	s, err := pegasus.LoadSummary(*sumPath)
+	if err != nil {
+		fatal("load summary: %v", err)
+	}
+	q := pegasus.NodeID(*node)
+
+	var approx []float64
+	switch *qtype {
+	case "neighbors":
+		ns := s.Neighbors(q)
+		fmt.Printf("approximate neighbors of %d (%d): %v\n", q, len(ns), clip(ns, *top))
+		return
+	case "rwr":
+		approx, err = pegasus.SummaryRWR(s, q, pegasus.RWRConfig{})
+	case "hop":
+		var d []int32
+		d, err = pegasus.SummaryHOP(s, q)
+		if err == nil {
+			approx = toFloats(pegasus.FillUnreached(d, int32(s.NumNodes())))
+		}
+	case "php":
+		approx, err = pegasus.SummaryPHP(s, q, pegasus.PHPConfig{})
+	default:
+		fatal("unknown query type %q", *qtype)
+	}
+	if err != nil {
+		fatal("query: %v", err)
+	}
+	printTop(*qtype+" (approximate)", approx, *top)
+
+	if *gPath != "" {
+		g, err := pegasus.LoadGraph(*gPath)
+		if err != nil {
+			fatal("load graph: %v", err)
+		}
+		var exact []float64
+		switch *qtype {
+		case "rwr":
+			exact, err = pegasus.GraphRWR(g, q, pegasus.RWRConfig{})
+		case "hop":
+			var d []int32
+			d, err = pegasus.GraphHOP(g, q)
+			if err == nil {
+				exact = toFloats(pegasus.FillUnreached(d, int32(g.NumNodes())))
+			}
+		case "php":
+			exact, err = pegasus.GraphPHP(g, q, pegasus.PHPConfig{})
+		}
+		if err != nil {
+			fatal("exact query: %v", err)
+		}
+		sm, _ := pegasus.SMAPE(exact, approx)
+		sc, _ := pegasus.Spearman(exact, approx)
+		fmt.Printf("accuracy vs exact: SMAPE=%.4f Spearman=%.4f\n", sm, sc)
+	}
+}
+
+func printTop(label string, scores []float64, k int) {
+	type nv struct {
+		n pegasus.NodeID
+		v float64
+	}
+	all := make([]nv, len(scores))
+	for i, v := range scores {
+		all[i] = nv{pegasus.NodeID(i), v}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v })
+	if k > len(all) {
+		k = len(all)
+	}
+	fmt.Printf("%s top-%d:\n", label, k)
+	for i := 0; i < k; i++ {
+		fmt.Printf("  node %-8d %.6g\n", all[i].n, all[i].v)
+	}
+}
+
+func toFloats(d []int32) []float64 {
+	out := make([]float64, len(d))
+	for i, v := range d {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func clip(ns []pegasus.NodeID, k int) []pegasus.NodeID {
+	if len(ns) > k {
+		return ns[:k]
+	}
+	return ns
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pegasus-query: "+format+"\n", args...)
+	os.Exit(1)
+}

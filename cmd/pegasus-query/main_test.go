@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"pegasus"
+)
+
+func TestToFloats(t *testing.T) {
+	f := toFloats([]int32{0, 5, -1})
+	if len(f) != 3 || f[1] != 5 || f[2] != -1 {
+		t.Fatalf("toFloats = %v", f)
+	}
+}
+
+func TestClip(t *testing.T) {
+	ns := []pegasus.NodeID{1, 2, 3, 4}
+	if got := clip(ns, 2); len(got) != 2 {
+		t.Fatalf("clip = %v", got)
+	}
+	if got := clip(ns, 10); len(got) != 4 {
+		t.Fatalf("clip oversized = %v", got)
+	}
+}

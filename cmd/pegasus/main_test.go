@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseTargets(t *testing.T) {
+	if got := parseTargets(""); got != nil {
+		t.Fatalf("empty spec = %v, want nil", got)
+	}
+	if got := parseTargets("  "); got != nil {
+		t.Fatalf("blank spec = %v, want nil", got)
+	}
+	got := parseTargets("1, 2,42")
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 42 {
+		t.Fatalf("parseTargets = %v", got)
+	}
+}
+
+func TestTraceNilWhenDisabled(t *testing.T) {
+	if trace(false) != nil {
+		t.Fatal("disabled trace should be nil")
+	}
+	if trace(true) == nil {
+		t.Fatal("enabled trace should be non-nil")
+	}
+}

@@ -1,0 +1,27 @@
+// Package pegasus is a Go implementation of PeGaSus — Personalized Graph
+// Summarization with Scalability (Kang, Lee & Shin, "Personalized Graph
+// Summarization: Formulation, Scalable Algorithms, and Applications",
+// ICDE 2022) — together with everything needed to use and evaluate it:
+// graph construction and generators, the SSumM / k-GraSS / SAAGs / S2L
+// baselines, approximate query answering on summary graphs (RWR, HOP, PHP),
+// accuracy metrics, graph partitioning (Louvain, BLP, SHP) and
+// communication-free distributed multi-query answering.
+//
+// # Quick start
+//
+//	g, _ := pegasus.LoadGraph("graph.txt") // "u v" edge list
+//	res, _ := pegasus.Summarize(g, pegasus.Config{
+//		Targets:     []pegasus.NodeID{42},  // personalize around node 42
+//		BudgetRatio: 0.5,                   // half the bits of the input
+//	})
+//	s := res.Summary
+//	neighbors := s.Neighbors(42)           // approximate neighborhood (Alg. 4)
+//	scores, _ := pegasus.SummaryRWR(s, 42, pegasus.RWRConfig{})
+//
+// The summary graph s is a partition of the nodes into supernodes plus a
+// sparse set of superedges; many graph algorithms run directly on it through
+// the neighborhood query, trading exactness for memory.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package pegasus

@@ -1,0 +1,81 @@
+// Centrality on summaries (Appendix A of the paper): most graph algorithms
+// touch the graph only through the neighborhood query, so they run
+// unchanged on a summary graph via the Oracle interface — trading exactness
+// for a fraction of the memory. This example computes PageRank, eigenvector
+// centrality, clustering coefficients and top-k RWR neighbors on a summary
+// and measures how well they track the exact answers.
+//
+//	go run ./examples/centrality
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pegasus"
+)
+
+func main() {
+	g := pegasus.GenerateBA(3000, 4, 21)
+	fmt.Printf("graph: %v (%.0f bits)\n", g, g.SizeBits())
+
+	res, err := pegasus.SummarizeNonPersonalized(g, pegasus.Config{BudgetRatio: 0.4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Summary
+	fmt.Printf("summary: %v (%.0f bits)\n", s, s.SizeBits())
+
+	exact := pegasus.GraphOracle(g)
+	approx := pegasus.SummaryOracle(s)
+
+	// PageRank: rank correlation between exact and summary answers.
+	prExact := pegasus.PageRank(exact, pegasus.PageRankConfig{})
+	prApprox := pegasus.PageRank(approx, pegasus.PageRankConfig{})
+	sc, _ := pegasus.Spearman(prExact, prApprox)
+	fmt.Printf("PageRank rank correlation (summary vs exact): %.4f\n", sc)
+
+	// Top-10 PageRank nodes overlap.
+	te := pegasus.TopK(prExact, 10)
+	ta := pegasus.TopK(prApprox, 10)
+	fmt.Printf("top-10 PageRank exact:   %v\n", te)
+	fmt.Printf("top-10 PageRank summary: %v (overlap %d/10)\n", ta, overlap(te, ta))
+
+	// Eigenvector centrality.
+	ecExact := pegasus.EigenvectorCentrality(exact, 0, 0)
+	ecApprox := pegasus.EigenvectorCentrality(approx, 0, 0)
+	sc2, _ := pegasus.Spearman(ecExact, ecApprox)
+	fmt.Printf("eigenvector centrality rank correlation: %.4f\n", sc2)
+
+	// Local RWR via forward push: the k-NN query of the appendix.
+	hub := pegasus.TopK(prExact, 1)[0]
+	push, err := pegasus.PushRWR(approx, hub, pegasus.PushConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := pegasus.GraphRWR(g, hub, pegasus.RWRConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RWR 10-NN of hub %d: exact %v\n", hub, pegasus.TopK(full, 10))
+	fmt.Printf("                 summary+push %v (overlap %d/10)\n",
+		pegasus.TopK(push, 10), overlap(pegasus.TopK(full, 10), pegasus.TopK(push, 10)))
+
+	// Clustering coefficient of the hub.
+	fmt.Printf("hub clustering coefficient: exact %.4f, summary %.4f\n",
+		pegasus.ClusteringCoefficient(exact, hub), pegasus.ClusteringCoefficient(approx, hub))
+}
+
+func overlap(a, b []pegasus.NodeID) int {
+	in := map[pegasus.NodeID]bool{}
+	for _, u := range a {
+		in[u] = true
+	}
+	n := 0
+	for _, u := range b {
+		if in[u] {
+			n++
+		}
+	}
+	return n
+}

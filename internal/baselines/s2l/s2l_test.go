@@ -1,0 +1,84 @@
+package s2l
+
+import (
+	"testing"
+
+	"pegasus/internal/gen"
+	"pegasus/internal/graph"
+	"pegasus/internal/metrics"
+	"pegasus/internal/summary"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 2, 1)
+	s, err := Summarize(g, Config{K: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSupernodes() > 20 || s.NumSupernodes() < 1 {
+		t.Fatalf("|S| = %d, want in [1,20]", s.NumSupernodes())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestClusteringFindsBipartiteStructure(t *testing.T) {
+	// K_{5,5}: rows of left nodes are identical (all right nodes) and vice
+	// versa. k-median with k=2 must separate the sides exactly.
+	b := graph.NewBuilder(10)
+	for l := 0; l < 5; l++ {
+		for r := 5; r < 10; r++ {
+			b.AddEdge(graph.NodeID(l), graph.NodeID(r))
+		}
+	}
+	g := b.Build()
+	best := 1e18
+	for seed := int64(0); seed < 5; seed++ {
+		s, err := Summarize(g, Config{K: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := metrics.ReconstructionError(g, s); e < best {
+			best = e
+		}
+	}
+	if best > 1e-9 {
+		t.Fatalf("best reconstruction error over seeds = %v, want 0", best)
+	}
+}
+
+func TestCommunityGraphClusters(t *testing.T) {
+	// A strongly assortative SBM: S2L should produce a partition with
+	// substantially lower error than a random partition of the same size.
+	g := gen.PlantedPartition(gen.SBMConfig{Nodes: 200, Communities: 4, AvgDegree: 20, MixingP: 0.02}, 3)
+	s, err := Summarize(g, Config{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := metrics.ReconstructionError(g, s)
+
+	randomAssign := make([]uint32, g.NumNodes())
+	for u := range randomAssign {
+		randomAssign[u] = uint32((u * 7919) % 4)
+	}
+	sRand := summaryFromPartition(g, randomAssign)
+	eRand := metrics.ReconstructionError(g, sRand)
+	if e >= eRand {
+		t.Fatalf("S2L error %v not below random-partition error %v", e, eRand)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	g := gen.BarabasiAlbert(20, 2, 1)
+	if _, err := Summarize(g, Config{K: 0}); err == nil {
+		t.Error("accepted K=0")
+	}
+	if _, err := Summarize(g, Config{K: 21}); err == nil {
+		t.Error("accepted K > |V|")
+	}
+}
+
+func summaryFromPartition(g *graph.Graph, assign []uint32) *summary.Summary {
+	return summary.FromPartitionDensity(g, assign)
+}

@@ -1,0 +1,79 @@
+package saags
+
+import "pegasus/internal/minhash"
+
+// CMS is a count-min sketch over node IDs. SAAGs attaches one sketch per
+// supernode summarizing the multiset of its members' neighbors; the
+// inner-product estimate between two sketches approximates the number of
+// common-neighbor pairs, which drives merge selection. The paper's
+// evaluation uses width w = 50 and depth d = 2 (§V-A).
+type CMS struct {
+	width  int
+	rows   [][]float64
+	hashes []minhash.Hash
+}
+
+// NewCMS creates a width×depth sketch seeded deterministically.
+func NewCMS(width, depth int, seed uint64) *CMS {
+	c := &CMS{width: width}
+	c.rows = make([][]float64, depth)
+	c.hashes = make([]minhash.Hash, depth)
+	for i := 0; i < depth; i++ {
+		c.rows[i] = make([]float64, width)
+		c.hashes[i] = minhash.New(seed + uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return c
+}
+
+// Add increments the count of item by delta.
+func (c *CMS) Add(item uint32, delta float64) {
+	for i, h := range c.hashes {
+		c.rows[i][h.Uint64(item)%uint64(c.width)] += delta
+	}
+}
+
+// Count returns the (over)estimate of item's count: the minimum across rows.
+func (c *CMS) Count(item uint32) float64 {
+	est := c.rows[0][c.hashes[0].Uint64(item)%uint64(c.width)]
+	for i := 1; i < len(c.rows); i++ {
+		if v := c.rows[i][c.hashes[i].Uint64(item)%uint64(c.width)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Merge folds other into c. Both sketches must share width, depth and seed
+// (guaranteed when created by the same summarizer run).
+func (c *CMS) Merge(other *CMS) {
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			c.rows[i][j] += other.rows[i][j]
+		}
+	}
+}
+
+// InnerProduct estimates Σ_item countA(item)·countB(item): the min across
+// rows of the row-wise dot products (the standard CMS join-size estimate).
+func (c *CMS) InnerProduct(other *CMS) float64 {
+	best := 0.0
+	for i := range c.rows {
+		dot := 0.0
+		for j := range c.rows[i] {
+			dot += c.rows[i][j] * other.rows[i][j]
+		}
+		if i == 0 || dot < best {
+			best = dot
+		}
+	}
+	return best
+}
+
+// Total returns the total mass inserted (exact: row sums are invariant).
+func (c *CMS) Total() float64 {
+	t := 0.0
+	for _, v := range c.rows[0] {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,100 @@
+package saags
+
+import (
+	"testing"
+
+	"pegasus/internal/gen"
+)
+
+func TestCMSCounts(t *testing.T) {
+	c := NewCMS(64, 3, 1)
+	c.Add(5, 2)
+	c.Add(9, 1)
+	if got := c.Count(5); got < 2 {
+		t.Fatalf("Count(5) = %v, want >= 2 (CMS overestimates)", got)
+	}
+	if got := c.Count(9); got < 1 {
+		t.Fatalf("Count(9) = %v, want >= 1", got)
+	}
+	if got := c.Count(123); got < 0 {
+		t.Fatalf("Count(absent) = %v, want >= 0", got)
+	}
+	if got := c.Total(); got != 3 {
+		t.Fatalf("Total = %v, want 3", got)
+	}
+}
+
+func TestCMSMergeAndInnerProduct(t *testing.T) {
+	a := NewCMS(128, 2, 7)
+	b := NewCMS(128, 2, 7)
+	for i := uint32(0); i < 10; i++ {
+		a.Add(i, 1)
+	}
+	for i := uint32(5); i < 15; i++ {
+		b.Add(i, 1)
+	}
+	// True inner product = 5 shared items; CMS overestimates.
+	ip := a.InnerProduct(b)
+	if ip < 5 {
+		t.Fatalf("InnerProduct = %v, want >= 5", ip)
+	}
+	if ip > 30 {
+		t.Fatalf("InnerProduct = %v, unreasonably above truth 5", ip)
+	}
+	a.Merge(b)
+	if got := a.Total(); got != 20 {
+		t.Fatalf("Total after merge = %v, want 20", got)
+	}
+}
+
+func TestCMSSimilarSetsScoreHigher(t *testing.T) {
+	// Sketch similarity must rank an identical neighborhood above a
+	// disjoint one.
+	base := NewCMS(256, 2, 3)
+	same := NewCMS(256, 2, 3)
+	diff := NewCMS(256, 2, 3)
+	for i := uint32(0); i < 20; i++ {
+		base.Add(i, 1)
+		same.Add(i, 1)
+		diff.Add(i+1000, 1)
+	}
+	if base.InnerProduct(same) <= base.InnerProduct(diff) {
+		t.Fatal("identical neighborhood did not outscore disjoint one")
+	}
+}
+
+func TestSummarizeReachesTarget(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, 5)
+	s, err := Summarize(g, Config{TargetSupernodes: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSupernodes() != 40 {
+		t.Fatalf("|S| = %d, want 40", s.NumSupernodes())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSummarizeDenseOutput(t *testing.T) {
+	// SAAGs adds superedges without selection: every block with an edge
+	// yields a superedge. Its summaries are denser (per supernode pair) than
+	// the input graph is per node pair.
+	g := gen.BarabasiAlbert(100, 3, 6)
+	s, err := Summarize(g, Config{TargetSupernodes: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxP := 10 * 11 / 2
+	if s.NumSuperedges() < maxP/4 {
+		t.Fatalf("|P| = %d, expected a dense summary (max %d)", s.NumSuperedges(), maxP)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	g := gen.BarabasiAlbert(20, 2, 1)
+	if _, err := Summarize(g, Config{TargetSupernodes: 0}); err == nil {
+		t.Error("accepted k=0")
+	}
+}

@@ -1,0 +1,146 @@
+// Package bitio provides the variable-length integer and delta coding used
+// for compact on-disk graph and summary storage. The paper (§I, footnote 1)
+// notes a summary graph "can be further compressed using any
+// graph-compression technique"; sorted adjacency lists delta+varint encode
+// to a fraction of their fixed-width size, in the spirit of the WebGraph
+// framework [1].
+package bitio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Writer encodes varints and delta-coded sequences.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// PutUvarint writes x in LEB128 variable-length encoding.
+func (w *Writer) PutUvarint(x uint64) {
+	if w.err != nil {
+		return
+	}
+	for x >= 0x80 {
+		if w.err = w.w.WriteByte(byte(x) | 0x80); w.err != nil {
+			return
+		}
+		w.n++
+		x >>= 7
+	}
+	if w.err = w.w.WriteByte(byte(x)); w.err == nil {
+		w.n++
+	}
+}
+
+// PutDeltas writes a strictly increasing uint32 sequence as a count followed
+// by first value and successive gaps (gap-1 since gaps are >= 1).
+func (w *Writer) PutDeltas(xs []uint32) {
+	w.PutUvarint(uint64(len(xs)))
+	prev := uint32(0)
+	for i, x := range xs {
+		if i == 0 {
+			w.PutUvarint(uint64(x))
+		} else {
+			if x <= prev {
+				w.err = fmt.Errorf("bitio: sequence not strictly increasing at %d (%d <= %d)", i, x, prev)
+				return
+			}
+			w.PutUvarint(uint64(x-prev) - 1)
+		}
+		prev = x
+	}
+}
+
+// BytesWritten returns the number of payload bytes emitted so far.
+func (w *Writer) BytesWritten() int64 { return w.n }
+
+// Flush flushes buffered output and reports any deferred error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Reader decodes what Writer encodes.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Uvarint reads one LEB128 varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var x uint64
+	var shift uint
+	for {
+		b, err := r.r.ReadByte()
+		if err != nil {
+			r.err = err
+			return 0
+		}
+		if shift >= 64 {
+			r.err = fmt.Errorf("bitio: varint overflow")
+			return 0
+		}
+		x |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return x
+		}
+		shift += 7
+	}
+}
+
+// Deltas reads a sequence written by PutDeltas. maxLen guards against
+// corrupt counts.
+func (r *Reader) Deltas(maxLen int) []uint32 {
+	n := int(r.Uvarint())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxLen {
+		r.err = fmt.Errorf("bitio: sequence length %d exceeds cap %d", n, maxLen)
+		return nil
+	}
+	out := make([]uint32, n)
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		v := r.Uvarint()
+		if r.err != nil {
+			return nil
+		}
+		if i == 0 {
+			prev = v
+		} else {
+			prev = prev + v + 1
+		}
+		if prev > 0xffffffff {
+			r.err = fmt.Errorf("bitio: value overflows uint32")
+			return nil
+		}
+		out[i] = uint32(prev)
+	}
+	return out
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }

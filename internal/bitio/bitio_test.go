@@ -1,0 +1,155 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	values := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, 42}
+	for _, v := range values {
+		w.PutUvarint(v)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for _, want := range values {
+		if got := r.Uvarint(); got != want {
+			t.Fatalf("Uvarint = %d, want %d", got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestUvarintCompactness(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.PutUvarint(uint64(i)) // all < 128: 1 byte each
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 100 {
+		t.Fatalf("100 small varints took %d bytes, want 100", buf.Len())
+	}
+	if w.BytesWritten() != 100 {
+		t.Fatalf("BytesWritten = %d, want 100", w.BytesWritten())
+	}
+}
+
+func TestDeltasRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	xs := []uint32{3, 4, 10, 11, 12, 500, 1 << 30}
+	w.PutDeltas(xs)
+	w.PutDeltas(nil) // empty sequence
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got := r.Deltas(100)
+	if len(got) != len(xs) {
+		t.Fatalf("Deltas = %v, want %v", got, xs)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("Deltas = %v, want %v", got, xs)
+		}
+	}
+	if empty := r.Deltas(100); len(empty) != 0 {
+		t.Fatalf("empty Deltas = %v", empty)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestDeltasRejectNonIncreasing(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.PutDeltas([]uint32{5, 5})
+	if w.Err() == nil {
+		t.Fatal("non-increasing sequence accepted")
+	}
+	w2 := NewWriter(&buf)
+	w2.PutDeltas([]uint32{7, 3})
+	if w2.Err() == nil {
+		t.Fatal("decreasing sequence accepted")
+	}
+}
+
+func TestDeltasLengthCap(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.PutDeltas([]uint32{1, 2, 3, 4, 5})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if got := r.Deltas(3); got != nil || r.Err() == nil {
+		t.Fatal("length above cap accepted")
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.PutDeltas([]uint32{1, 100, 10000})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		r.Deltas(10)
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestPropertyDeltasRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		seen := map[uint32]bool{}
+		xs := make([]uint32, 0, n)
+		for len(xs) < n {
+			v := uint32(rng.Intn(1 << 20))
+			if !seen[v] {
+				seen[v] = true
+				xs = append(xs, v)
+			}
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.PutDeltas(xs)
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		got := r.Deltas(n + 1)
+		if r.Err() != nil || len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Cost machinery (§III-B). All reconstruction-error quantities are kept in
+// the ordered convention of Eq. (1): each erroneous unordered pair counts
+// its weight twice, so that Eq. (8) decomposes Cost(G) exactly and
+// log2|V|·RE is exactly the error-correction bit count of Footnote 4.
+
+// pairTotals returns the total ordered weighted pair count t and ordered
+// weighted edge mass e for the (possibly hypothetical) supernode pair whose
+// aggregates are given. For a cross pair (A,B): t = 2·Π_A·Π_B, e = 2·m_AB.
+// For a self pair (A,A): t = Π_A²−Q_A, e = dm_AA (already ordered).
+func crossTotals(piA, piB, dmAB float64) (t, e float64) {
+	return 2 * piA * piB, 2 * dmAB
+}
+
+func selfTotals(piA, qA, dmAA float64) (t, e float64) {
+	return piA*piA - qA, dmAA
+}
+
+// pairCost returns Cost_AB (Eq. 6) in bits for a pair with ordered totals
+// (t, e), given whether the superedge is present. log2|S| bits are charged
+// per superedge endpoint; logS2 is 2·log2(|S| used for evaluation).
+func (eng *engine) pairCost(t, e float64, present bool, logS2 float64) float64 {
+	if present {
+		miss := t - e
+		if miss < 0 {
+			miss = 0 // guard float cancellation
+		}
+		bits := logS2 + eng.logV*miss
+		if eng.cfg.Encoding == BestOfTwo {
+			if alt := logS2 + entropyBits(t, e); alt < bits {
+				bits = alt
+			}
+		}
+		return bits
+	}
+	return eng.logV * e
+}
+
+// bestPairCost returns min over presence choices — used when (re)deciding
+// superedges for a merged supernode (Alg. 2 line 9) — along with the choice.
+func (eng *engine) bestPairCost(t, e float64, logS2 float64) (float64, bool) {
+	with := eng.pairCost(t, e, true, logS2)
+	without := eng.pairCost(t, e, false, logS2)
+	if with < without {
+		return with, true
+	}
+	return without, false
+}
+
+// entropyBits is the binomial-entropy encoding of a pair block: with n = t/2
+// unordered pairs of which k = e/2 are edges, encoding the exact block
+// content costs n·H2(k/n) bits. Only meaningful under uniform weights
+// (SSumM); under personalized weights t and e are weighted masses and the
+// formula degrades gracefully to an approximation.
+func entropyBits(t, e float64) float64 {
+	n := t / 2
+	k := e / 2
+	if n <= 0 || k <= 0 || k >= n {
+		return 0
+	}
+	p := k / n
+	h := -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	return n * h
+}
+
+// supernodeCost computes Cost_A (Eq. 9) for slot a under the current
+// superedge set, given a's masses in pm. Superedges to supernodes with zero
+// mass are also charged (presence bits only).
+func (eng *engine) supernodeCost(a uint32, pm *pairMass) float64 {
+	logS2 := 2 * math.Log2(math.Max(float64(eng.numSuper), 2))
+	total := 0.0
+	for _, x := range pm.keys {
+		dm := pm.m[x]
+		var t, e float64
+		if x == a {
+			t, e = selfTotals(eng.sumPi[a], eng.sumPiSq[a], dm)
+		} else {
+			t, e = crossTotals(eng.sumPi[a], eng.sumPi[x], dm)
+		}
+		total += eng.pairCost(t, e, eng.hasSuperedge(a, x), logS2)
+	}
+	// Superedges with zero mass are pathological but possible; accumulate
+	// them in sorted order so cost sums are bit-for-bit deterministic (map
+	// iteration order would otherwise perturb argmax tie-breaking).
+	var zeroMass []uint32
+	for x := range eng.sedges[a] {
+		if _, ok := pm.m[x]; !ok {
+			zeroMass = append(zeroMass, x)
+		}
+	}
+	if len(zeroMass) > 1 {
+		sort.Slice(zeroMass, func(i, j int) bool { return zeroMass[i] < zeroMass[j] })
+	}
+	for _, x := range zeroMass {
+		var t, e float64
+		if x == a {
+			t, e = selfTotals(eng.sumPi[a], eng.sumPiSq[a], 0)
+		} else {
+			t, e = crossTotals(eng.sumPi[a], eng.sumPi[x], 0)
+		}
+		total += eng.pairCost(t, e, true, logS2)
+	}
+	return total
+}
+
+// evaluateMerge computes the cost reduction of merging slots a and b:
+// Eq. (10) (absolute) and Eq. (11) (relative). It fills eng.pmA/pmB as a
+// side effect (reused by performMerge when the pair is accepted).
+func (eng *engine) evaluateMerge(a, b uint32) (rel, abs float64) {
+	eng.accumulateMass(a, &eng.pmA)
+	eng.accumulateMass(b, &eng.pmB)
+
+	costA := eng.supernodeCost(a, &eng.pmA)
+	costB := eng.supernodeCost(b, &eng.pmB)
+
+	logS2 := 2 * math.Log2(math.Max(float64(eng.numSuper), 2))
+	tAB, eAB := crossTotals(eng.sumPi[a], eng.sumPi[b], eng.pmA.m[b])
+	costAB := eng.pairCost(tAB, eAB, eng.hasSuperedge(a, b), logS2)
+
+	before := costA + costB - costAB
+	costC := eng.mergedCost(a, b)
+	abs = before - costC
+	if before <= 1e-12 {
+		// Two cost-free supernodes (e.g. isolated): merging is neutral.
+		return 0, abs
+	}
+	return abs / before, abs
+}
+
+// mergedCost computes Cost_{A∪B}(merge(A,B;G)) (the last term of Eq. 10):
+// the cost of the hypothetical merged supernode with superedges re-chosen
+// optimally (Alg. 2 line 9), evaluated in the post-merge summary where
+// |S| is one smaller. Requires pmA/pmB to hold the masses of a and b.
+func (eng *engine) mergedCost(a, b uint32) float64 {
+	logS2 := 2 * math.Log2(math.Max(float64(eng.numSuper-1), 2))
+	piC := eng.sumPi[a] + eng.sumPi[b]
+	qC := eng.sumPiSq[a] + eng.sumPiSq[b]
+
+	total := 0.0
+	// Cross pairs to every adjacent supernode X ∉ {a,b}.
+	for _, x := range eng.pmA.keys {
+		if x == a || x == b {
+			continue
+		}
+		dm := eng.pmA.m[x] + eng.pmB.m[x] // m[x] is 0 when absent
+		t, e := crossTotals(piC, eng.sumPi[x], dm)
+		c, _ := eng.bestPairCost(t, e, logS2)
+		total += c
+	}
+	for _, x := range eng.pmB.keys {
+		if x == a || x == b {
+			continue
+		}
+		if _, seen := eng.pmA.m[x]; seen {
+			continue // already handled above
+		}
+		t, e := crossTotals(piC, eng.sumPi[x], eng.pmB.m[x])
+		c, _ := eng.bestPairCost(t, e, logS2)
+		total += c
+	}
+	// Self pair of the merged supernode: ordered intra mass
+	// dm_AA + dm_BB + 2·m_AB.
+	dmCC := eng.pmA.m[a] + eng.pmB.m[b] + 2*eng.pmA.m[b]
+	t, e := selfTotals(piC, qC, dmCC)
+	c, _ := eng.bestPairCost(t, e, logS2)
+	return total + c
+}
+
+// performMerge merges slot b into slot a (Alg. 2 lines 6–9): removes stale
+// superedges, unions members and aggregates, and re-adds superedges
+// incident to the merged supernode exactly when presence lowers the pair
+// cost. pmA/pmB must hold the masses of a and b (as left by evaluateMerge;
+// recomputed defensively if stale).
+func (eng *engine) performMerge(a, b uint32, massesFresh bool) {
+	if !massesFresh {
+		eng.accumulateMass(a, &eng.pmA)
+		eng.accumulateMass(b, &eng.pmB)
+	}
+	eng.removeIncidentSuperedges(a)
+	eng.removeIncidentSuperedges(b)
+
+	// Union b into a.
+	for _, u := range eng.members[b] {
+		eng.superOf[u] = a
+	}
+	eng.members[a] = append(eng.members[a], eng.members[b]...)
+	eng.members[b] = nil
+	eng.sumPi[a] += eng.sumPi[b]
+	eng.sumPiSq[a] += eng.sumPiSq[b]
+	eng.sumPi[b], eng.sumPiSq[b] = 0, 0
+	eng.numSuper--
+
+	logS2 := 2 * math.Log2(math.Max(float64(eng.numSuper), 2))
+	piC, qC := eng.sumPi[a], eng.sumPiSq[a]
+
+	decide := func(x uint32, dm float64) {
+		var t, e float64
+		if x == a {
+			t, e = selfTotals(piC, qC, dm)
+		} else {
+			t, e = crossTotals(piC, eng.sumPi[x], dm)
+		}
+		if _, present := eng.bestPairCost(t, e, logS2); present {
+			eng.addSuperedge(a, x)
+		}
+	}
+
+	dmCC := eng.pmA.m[a] + eng.pmB.m[b] + 2*eng.pmA.m[b]
+	for _, x := range eng.pmA.keys {
+		if x == a || x == b {
+			continue
+		}
+		decide(x, eng.pmA.m[x]+eng.pmB.m[x])
+	}
+	for _, x := range eng.pmB.keys {
+		if x == a || x == b {
+			continue
+		}
+		if _, inA := eng.pmA.m[x]; inA {
+			continue
+		}
+		decide(x, eng.pmB.m[x])
+	}
+	if dmCC > 0 {
+		decide(a, dmCC)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"pegasus/internal/gen"
+	"pegasus/internal/weights"
+)
+
+// Micro-benchmarks for the engine's hot paths; useful when tuning the merge
+// loop, which dominates summarization time.
+
+func benchEngine(b *testing.B, n, m int) *engine {
+	b.Helper()
+	g := gen.BarabasiAlbert(n, m, 1)
+	cfg, err := Config{BudgetRatio: 0.5, Seed: 1}.withDefaults(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := weights.New(g, []uint32{0, 1, 2}, 1.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return newEngine(g, w, cfg)
+}
+
+// BenchmarkEvaluateMerge measures one candidate-pair evaluation (Lemma 1:
+// O(deg(A)+deg(B))).
+func BenchmarkEvaluateMerge(b *testing.B) {
+	e := benchEngine(b, 5000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := uint32(i % 5000)
+		c := uint32((i*7 + 1) % 5000)
+		if a == c {
+			c = (c + 1) % 5000
+		}
+		e.evaluateMerge(a, c)
+	}
+}
+
+// BenchmarkCandidateGroups measures one full shingle-grouping pass (O(|E|)).
+func BenchmarkCandidateGroups(b *testing.B) {
+	e := benchEngine(b, 5000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.candidateGroups(i + 1)
+	}
+}
+
+// BenchmarkPerformMerge measures merge application including superedge
+// re-selection.
+func BenchmarkPerformMerge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := benchEngine(b, 1000, 4)
+		slots := e.aliveSlots()
+		b.StartTimer()
+		for j := 0; j+1 < len(slots) && j < 200; j += 2 {
+			e.performMerge(slots[j], slots[j+1], false)
+		}
+	}
+}

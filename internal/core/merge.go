@@ -1,0 +1,67 @@
+package core
+
+import "math"
+
+// mergeGroup runs the merging-and-addition step (Alg. 2) on one candidate
+// group: repeatedly sample |Ci| supernode pairs, take the pair maximizing
+// the cost reduction, merge it if the reduction clears the threshold θ, and
+// otherwise record the rejected reduction in L. The group is abandoned after
+// log2|Ci| consecutive failures. Returns the number of merges performed;
+// rejected reductions are appended to *rejected.
+func (e *engine) mergeGroup(group []uint32, theta float64, rejected *[]float64) int {
+	fails := 0
+	merges := 0
+	// group is mutated in place: merged-away slots are swapped out.
+	for len(group) > 1 && float64(fails) <= math.Log2(float64(len(group))) {
+		nPairs := len(group)
+		bestScore := math.Inf(-1)
+		var bestA, bestB uint32
+		found := false
+		for i := 0; i < nPairs; i++ {
+			ai := e.rng.Intn(len(group))
+			bi := e.rng.Intn(len(group) - 1)
+			if bi >= ai {
+				bi++
+			}
+			a, b := group[ai], group[bi]
+			rel, abs := e.evaluateMerge(a, b)
+			score := rel
+			if e.cfg.CostMode == AbsoluteCost {
+				score = abs
+			}
+			if score > bestScore {
+				bestScore, bestA, bestB, found = score, a, b, true
+			}
+		}
+		if !found {
+			break
+		}
+		// The threshold compares against the same statistic that ranked the
+		// pair; under AbsoluteCost the scale differs but the adaptive policy
+		// tracks it automatically via L.
+		if bestScore >= theta {
+			// pmA/pmB hold the masses of the *last* evaluated pair, not
+			// necessarily the argmax; recompute inside performMerge.
+			e.performMerge(bestA, bestB, false)
+			removeSlot(&group, bestB)
+			merges++
+			fails = 0
+		} else {
+			*rejected = append(*rejected, bestScore)
+			fails++
+		}
+	}
+	return merges
+}
+
+// removeSlot deletes the slot s from group (swap-remove).
+func removeSlot(group *[]uint32, s uint32) {
+	g := *group
+	for i, x := range g {
+		if x == s {
+			g[i] = g[len(g)-1]
+			*group = g[:len(g)-1]
+			return
+		}
+	}
+}

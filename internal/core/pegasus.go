@@ -1,0 +1,82 @@
+package core
+
+import (
+	"pegasus/internal/graph"
+	"pegasus/internal/weights"
+)
+
+// Summarize runs PeGaSus (Alg. 1) on g and returns a summary graph
+// personalized to cfg.Targets within the bit budget.
+func Summarize(g *graph.Graph, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	w, err := weights.New(g, cfg.Targets, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	return summarizeWeighted(g, w, cfg)
+}
+
+// summarizeWeighted is the engine loop shared by PeGaSus and the SSumM
+// preset (which supplies uniform weights).
+func summarizeWeighted(g *graph.Graph, w *weights.Weights, cfg Config) (*Result, error) {
+	eng := newEngine(g, w, cfg)
+	theta := cfg.Threshold.Initial()
+	iterations := 0
+	finalTheta := theta
+
+	for t := 1; t <= cfg.MaxIter && eng.sizeBits() > cfg.BudgetBits; t++ {
+		iterations = t
+		groups := eng.candidateGroups(t)
+		var rejected []float64
+		merges := 0
+		for _, grp := range groups {
+			merges += eng.mergeGroup(grp, theta, &rejected)
+			if eng.sizeBits() <= cfg.BudgetBits {
+				break
+			}
+		}
+		if cfg.Trace != nil {
+			cfg.Trace(IterStats{
+				Iteration:  t,
+				Theta:      theta,
+				NumSuper:   eng.numSuper,
+				NumSupered: eng.numP,
+				SizeBits:   eng.sizeBits(),
+				Merges:     merges,
+				Rejections: len(rejected),
+				Groups:     len(groups),
+			})
+		}
+		theta = cfg.Threshold.Next(t, rejected, theta)
+		finalTheta = theta
+	}
+
+	dropped := 0
+	if eng.sizeBits() > cfg.BudgetBits {
+		dropped = eng.sparsify(cfg.BudgetBits)
+	}
+	return &Result{
+		Summary:           eng.buildSummary(),
+		Iterations:        iterations,
+		DroppedSuperedges: dropped,
+		FinalTheta:        finalTheta,
+		BudgetMet:         eng.sizeBits() <= cfg.BudgetBits+1e-9,
+	}, nil
+}
+
+// SummarizeNonPersonalized is a convenience wrapper for the T = V case: the
+// objective reduces to the plain (unweighted) reconstruction error while
+// keeping PeGaSus's adaptive thresholding and relative-cost search.
+func SummarizeNonPersonalized(g *graph.Graph, cfg Config) (*Result, error) {
+	cfg.Targets = nil
+	cfg.Alpha = 1
+	cfg, err := cfg.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	// withDefaults resets Alpha=0 to 1.25; force uniform weights.
+	return summarizeWeighted(g, weights.Uniform(g.NumNodes()), cfg)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+
+	"pegasus/internal/graph"
+	"pegasus/internal/minhash"
+)
+
+// Candidate generation (§III-C): supernodes are grouped by the shingle
+//
+//	F(U) = min_{u∈U} min_{v∈N_u∪{u}} f(v)
+//
+// under a fresh uniform hash f each iteration; two supernodes collide with
+// probability equal to the Jaccard similarity of their members' closed
+// neighborhoods, so groups collect supernodes with similar connectivity.
+// Oversized groups are recursively re-divided with fresh hashes up to
+// MaxSplitDepth times, then randomly chopped to at most MaxGroupSize.
+// Singleton groups are discarded (nothing to merge).
+
+// nodeShingles computes, for one hash function, the per-node closed
+// neighborhood min-hash: h_u = min over v ∈ N_u ∪ {u} of f(v).
+func (e *engine) nodeShingles(seed uint64) []uint64 {
+	h := minhash.New(seed)
+	n := e.g.NumNodes()
+	out := make([]uint64, n)
+	for u := 0; u < n; u++ {
+		best := h.Uint64(uint32(u))
+		for _, v := range e.g.Neighbors(graph.NodeID(u)) {
+			if hv := h.Uint64(uint32(v)); hv < best {
+				best = hv
+			}
+		}
+		out[u] = best
+	}
+	return out
+}
+
+// superShingle folds node shingles to F(U) = min over members.
+func superShingle(nodeMin []uint64, members []graph.NodeID) uint64 {
+	best := ^uint64(0)
+	for _, u := range members {
+		if v := nodeMin[u]; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// candidateGroups produces this iteration's groups of supernodes with
+// similar connectivity (Alg. 1 line 4).
+func (e *engine) candidateGroups(iter int) [][]uint32 {
+	if e.cfg.RandomGroups {
+		return e.randomGroups()
+	}
+	baseSeed := uint64(e.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(iter)*0x100000001b3
+
+	var result [][]uint32
+	type work struct {
+		slots []uint32
+		depth int
+	}
+	queue := []work{{slots: e.aliveSlots(), depth: 0}}
+
+	// nodeMin per depth, computed lazily: all groups at the same depth share
+	// one hash function.
+	nodeMinByDepth := map[int][]uint64{}
+	nodeMinAt := func(depth int) []uint64 {
+		if nm, ok := nodeMinByDepth[depth]; ok {
+			return nm
+		}
+		nm := e.nodeShingles(baseSeed + uint64(depth)*0x9e3779b1)
+		nodeMinByDepth[depth] = nm
+		return nm
+	}
+
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if len(w.slots) <= 1 {
+			continue
+		}
+		// The first level always groups by shingle (Alg. 1 line 4); deeper
+		// levels only re-divide groups that exceed MaxGroupSize.
+		if w.depth > 0 && len(w.slots) <= e.cfg.MaxGroupSize {
+			result = append(result, w.slots)
+			continue
+		}
+		if w.depth >= e.cfg.MaxSplitDepth {
+			// Random chop into MaxGroupSize chunks.
+			e.rng.Shuffle(len(w.slots), func(i, j int) {
+				w.slots[i], w.slots[j] = w.slots[j], w.slots[i]
+			})
+			for start := 0; start < len(w.slots); start += e.cfg.MaxGroupSize {
+				end := start + e.cfg.MaxGroupSize
+				if end > len(w.slots) {
+					end = len(w.slots)
+				}
+				if end-start > 1 {
+					result = append(result, w.slots[start:end])
+				}
+			}
+			continue
+		}
+		nm := nodeMinAt(w.depth)
+		byShingle := make(map[uint64][]uint32)
+		for _, a := range w.slots {
+			f := superShingle(nm, e.members[a])
+			byShingle[f] = append(byShingle[f], a)
+		}
+		if len(byShingle) == 1 {
+			// The hash failed to split (e.g. identical closed neighborhoods
+			// everywhere); descend with the next hash, which will eventually
+			// hit the depth cap and chop randomly.
+			queue = append(queue, work{slots: w.slots, depth: w.depth + 1})
+			continue
+		}
+		// Map iteration order is randomized; sort keys so runs with the same
+		// seed produce the same groups in the same order.
+		keys := make([]uint64, 0, len(byShingle))
+		for f := range byShingle {
+			keys = append(keys, f)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, f := range keys {
+			if grp := byShingle[f]; len(grp) > 1 {
+				queue = append(queue, work{slots: grp, depth: w.depth + 1})
+			}
+		}
+	}
+	// Deterministic processing order with a shuffle for exploration.
+	e.rng.Shuffle(len(result), func(i, j int) { result[i], result[j] = result[j], result[i] })
+	return result
+}
+
+// randomGroups is the connectivity-blind ablation: shuffle the alive
+// supernodes and chop them into MaxGroupSize chunks.
+func (e *engine) randomGroups() [][]uint32 {
+	slots := e.aliveSlots()
+	e.rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	var result [][]uint32
+	for start := 0; start < len(slots); start += e.cfg.MaxGroupSize {
+		end := start + e.cfg.MaxGroupSize
+		if end > len(slots) {
+			end = len(slots)
+		}
+		if end-start > 1 {
+			result = append(result, slots[start:end])
+		}
+	}
+	return result
+}

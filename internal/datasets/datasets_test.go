@@ -1,0 +1,84 @@
+package datasets
+
+import (
+	"testing"
+
+	"pegasus/internal/graph"
+)
+
+func TestRegistryShape(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 7 {
+		t.Fatalf("registry has %d datasets, want 7 (Table II)", len(reg))
+	}
+	wantOrder := []string{"LA", "CA", "DB", "A6", "SK", "WK", "ST"}
+	for i, d := range reg {
+		if d.Short != wantOrder[i] {
+			t.Errorf("position %d: %s, want %s", i, d.Short, wantOrder[i])
+		}
+		if d.Name == "" || d.Kind == "" {
+			t.Errorf("%s: missing metadata", d.Short)
+		}
+	}
+	if len(Real()) != 6 {
+		t.Fatal("Real() should exclude only ST")
+	}
+}
+
+func TestByShort(t *testing.T) {
+	d, err := ByShort("WK")
+	if err != nil || d.Name != "Wikipedia" {
+		t.Fatalf("ByShort(WK) = %v, %v", d, err)
+	}
+	if _, err := ByShort("XX"); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+func TestGraphsAreConnectedAndClean(t *testing.T) {
+	for _, d := range Registry() {
+		g := d.Load(0.25)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Short, err)
+		}
+		_, count := graph.Components(g)
+		if count != 1 {
+			t.Errorf("%s: %d components, want 1 (largest CC)", d.Short, count)
+		}
+		if g.NumNodes() < 10 {
+			t.Errorf("%s: suspiciously small (%d nodes)", d.Short, g.NumNodes())
+		}
+	}
+}
+
+func TestLoadIsCachedAndDeterministic(t *testing.T) {
+	d, _ := ByShort("LA")
+	g1 := d.Load(0.25)
+	g2 := d.Load(0.25)
+	if g1 != g2 {
+		t.Fatal("Load should return the cached graph")
+	}
+	// Distinct scale -> distinct graph.
+	g3 := d.Load(0.3)
+	if g3 == g1 {
+		t.Fatal("different scales must not share cache entries")
+	}
+	if g3.NumNodes() <= g1.NumNodes() {
+		t.Fatal("larger scale should give more nodes")
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	// Internet stand-ins are heavy-tailed; community stand-ins are
+	// assortative enough to have small max degree relative to BA.
+	ca, _ := ByShort("CA")
+	g := ca.Load(0.5)
+	if float64(g.MaxDegree()) < 4*g.AvgDegree() {
+		t.Errorf("CA (BA family) should be heavy-tailed: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	la, _ := ByShort("LA")
+	s := la.Load(0.5)
+	if float64(s.MaxDegree()) > 30*s.AvgDegree() {
+		t.Errorf("LA (SBM family) should not be hub-dominated: max %d avg %.1f", s.MaxDegree(), s.AvgDegree())
+	}
+}

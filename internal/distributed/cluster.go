@@ -1,0 +1,151 @@
+// Package distributed implements the paper's application (§IV):
+// "communication-free" distributed multi-query answering. The node set is
+// partitioned into m subsets; machine i holds either a summary graph
+// personalized to subset V_i (the PeGaSus approach, Alg. 3) or a
+// size-bounded subgraph composed of the edges closest to V_i (the
+// graph-partitioning alternative of §IV). Each query on node q is routed to
+// the machine owning q and answered locally, with zero inter-machine
+// communication.
+package distributed
+
+import (
+	"fmt"
+
+	"pegasus/internal/core"
+	"pegasus/internal/graph"
+	"pegasus/internal/queries"
+	"pegasus/internal/summary"
+)
+
+// Machine is one worker holding a local artifact it can answer queries on.
+type Machine struct {
+	// Summary is non-nil on summary machines (PeGaSus / SSumM clusters).
+	Summary *summary.Summary
+	// Subgraph is non-nil on subgraph machines (graph-partitioning
+	// clusters). It spans the full node-ID space, with only local edges.
+	Subgraph *graph.Graph
+}
+
+// SizeBits returns the memory footprint of the machine's artifact.
+func (m *Machine) SizeBits() float64 {
+	if m.Summary != nil {
+		return m.Summary.AutoSizeBits()
+	}
+	if m.Subgraph != nil {
+		return m.Subgraph.SizeBits()
+	}
+	return 0
+}
+
+// Cluster is a set of machines plus the node→machine routing table (the
+// "mapping function from nodes to summary graphs" of §I).
+type Cluster struct {
+	// Assign maps each node to the machine answering its queries.
+	Assign []uint32
+	// Machines are the m workers.
+	Machines []*Machine
+}
+
+// Route returns the machine index that answers queries on node q.
+func (c *Cluster) Route(q graph.NodeID) (uint32, error) {
+	if int(q) >= len(c.Assign) {
+		return 0, fmt.Errorf("distributed: query node %d out of range", q)
+	}
+	return c.Assign[q], nil
+}
+
+// MaxMachineBits returns the largest per-machine footprint — the memory a
+// deployment must provision per worker.
+func (c *Cluster) MaxMachineBits() float64 {
+	max := 0.0
+	for _, m := range c.Machines {
+		if s := m.SizeBits(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// RWR answers a random-walk-with-restart query for q on q's machine only.
+func (c *Cluster) RWR(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error) {
+	i, err := c.Route(q)
+	if err != nil {
+		return nil, err
+	}
+	m := c.Machines[i]
+	if m.Summary != nil {
+		return queries.SummaryRWR(m.Summary, q, cfg)
+	}
+	return queries.GraphRWR(m.Subgraph, q, cfg)
+}
+
+// HOP answers a shortest-path-length query for q on q's machine only.
+func (c *Cluster) HOP(q graph.NodeID) ([]int32, error) {
+	i, err := c.Route(q)
+	if err != nil {
+		return nil, err
+	}
+	m := c.Machines[i]
+	if m.Summary != nil {
+		return queries.SummaryHOP(m.Summary, q)
+	}
+	return queries.GraphHOP(m.Subgraph, q)
+}
+
+// PHP answers a penalized-hitting-probability query for q on q's machine.
+func (c *Cluster) PHP(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error) {
+	i, err := c.Route(q)
+	if err != nil {
+		return nil, err
+	}
+	m := c.Machines[i]
+	if m.Summary != nil {
+		return queries.SummaryPHP(m.Summary, q, cfg)
+	}
+	return queries.GraphPHP(m.Subgraph, q, cfg)
+}
+
+// Summarizer produces a summary of g personalized to the given target set
+// within budgetBits. The PeGaSus and SSumM entry points both match.
+type Summarizer func(g *graph.Graph, targets []graph.NodeID, budgetBits float64) (*summary.Summary, error)
+
+// PegasusSummarizer adapts core.Summarize to the Summarizer shape with the
+// given base configuration (targets and budget are overridden per machine).
+func PegasusSummarizer(base core.Config) Summarizer {
+	return func(g *graph.Graph, targets []graph.NodeID, budgetBits float64) (*summary.Summary, error) {
+		cfg := base
+		cfg.Targets = targets
+		cfg.BudgetBits = budgetBits
+		cfg.BudgetRatio = 0
+		res, err := core.Summarize(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Summary, nil
+	}
+}
+
+// BuildSummaryCluster implements Alg. 3's preprocessing: for each part i of
+// the given partition (labels in [0,m)), build a summary personalized to
+// V_i within budgetBits and load it on machine i.
+func BuildSummaryCluster(g *graph.Graph, labels []uint32, m int, budgetBits float64, summarize Summarizer) (*Cluster, error) {
+	if len(labels) != g.NumNodes() {
+		return nil, fmt.Errorf("distributed: labels length %d != |V| %d", len(labels), g.NumNodes())
+	}
+	parts := make([][]graph.NodeID, m)
+	for u, l := range labels {
+		if int(l) >= m {
+			return nil, fmt.Errorf("distributed: label %d out of range (m=%d)", l, m)
+		}
+		parts[l] = append(parts[l], graph.NodeID(u))
+	}
+	c := &Cluster{Assign: labels, Machines: make([]*Machine, m)}
+	for i := 0; i < m; i++ {
+		s, err := summarize(g, parts[i], budgetBits)
+		if err != nil {
+			return nil, fmt.Errorf("distributed: machine %d: %w", i, err)
+		}
+		c.Machines[i] = &Machine{Summary: s}
+	}
+	return c, nil
+}

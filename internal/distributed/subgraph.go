@@ -1,0 +1,89 @@
+package distributed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pegasus/internal/graph"
+)
+
+// ComposeSubgraph builds the §IV "potential alternative" artifact for one
+// machine: a subgraph of size ≤ budgetBits (Eq. 4 accounting: 2·log2|V| bits
+// per edge) composed of the edges closest to the node subset — edges are
+// added in increasing order of hop distance from the subset until the budget
+// is exhausted. The result spans the full node-ID space.
+func ComposeSubgraph(g *graph.Graph, subset []graph.NodeID, budgetBits float64) *graph.Graph {
+	n := g.NumNodes()
+	if n <= 1 {
+		return g
+	}
+	bitsPerEdge := 2 * math.Log2(float64(n))
+	capEdges := int64(budgetBits / bitsPerEdge)
+	if capEdges >= g.NumEdges() {
+		return g
+	}
+	dist := graph.MultiSourceBFS(g, subset)
+	type de struct {
+		d    int32
+		u, v graph.NodeID
+	}
+	edges := make([]de, 0, g.NumEdges())
+	g.Edges(func(u, v graph.NodeID) bool {
+		du, dv := dist[u], dist[v]
+		d := du
+		if dv < d && dv >= 0 || d < 0 {
+			d = dv
+		}
+		if d < 0 {
+			d = math.MaxInt32 // disconnected from the subset: last resort
+		}
+		edges = append(edges, de{d, u, v})
+		return true
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].d != edges[j].d {
+			return edges[i].d < edges[j].d
+		}
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	b := graph.NewBuilder(n)
+	for i := int64(0); i < capEdges && i < int64(len(edges)); i++ {
+		b.AddEdge(edges[i].u, edges[i].v)
+	}
+	sub := b.Build()
+	if sub.NumNodes() < n {
+		// Builder shrinks to max seen ID; force the full node space by
+		// rebuilding with the exact count.
+		return graph.FromEdges(n, sub.EdgeList())
+	}
+	return sub
+}
+
+// BuildSubgraphCluster builds the graph-partitioning alternative cluster:
+// machine i holds the size-bounded subgraph composed of the edges closest to
+// part i.
+func BuildSubgraphCluster(g *graph.Graph, labels []uint32, m int, budgetBits float64) (*Cluster, error) {
+	if len(labels) != g.NumNodes() {
+		return nil, fmt.Errorf("distributed: labels length %d != |V| %d", len(labels), g.NumNodes())
+	}
+	parts := make([][]graph.NodeID, m)
+	for u, l := range labels {
+		if int(l) >= m {
+			return nil, fmt.Errorf("distributed: label %d out of range (m=%d)", l, m)
+		}
+		parts[l] = append(parts[l], graph.NodeID(u))
+	}
+	c := &Cluster{Assign: labels, Machines: make([]*Machine, m)}
+	for i := 0; i < m; i++ {
+		if len(parts[i]) == 0 {
+			c.Machines[i] = &Machine{Subgraph: graph.FromEdges(g.NumNodes(), nil)}
+			continue
+		}
+		c.Machines[i] = &Machine{Subgraph: ComposeSubgraph(g, parts[i], budgetBits)}
+	}
+	return c, nil
+}

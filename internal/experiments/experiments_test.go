@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny is an even smaller profile than Quick so the whole experiment suite
+// smoke-tests in seconds.
+var tiny = Scale{
+	Name: "tiny", Graph: 0.3, Queries: 4, TestNodes: 2,
+	Ratios:           []float64{0.4},
+	Datasets:         []string{"LA"},
+	BaselineDatasets: []string{"LA"},
+	RWR:              Quick.RWR,
+	PHP:              Quick.PHP,
+	Seed:             1,
+}
+
+func mustRun(t *testing.T, id string, sc Scale) *Table {
+	t.Helper()
+	tab, err := Run(id, sc)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	if len(tab.Header) == 0 {
+		t.Fatalf("%s: missing header", id)
+	}
+	out := tab.String()
+	if !strings.Contains(out, tab.Title) {
+		t.Fatalf("%s: rendering lost the title", id)
+	}
+	return tab
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table2", "fig5", "fig6", "fig7", "fig7php", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig12php", "ablation",
+		"ablation-threshold", "ablation-grouping"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(names), len(want))
+	}
+	for _, id := range want {
+		found := false
+		for _, n := range names {
+			if n == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if _, err := Run("nonsense", tiny); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tab := mustRun(t, "table2", tiny)
+	// ST row always present plus the selected dataset.
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (LA + ST)", len(tab.Rows))
+	}
+}
+
+func TestFig5ShowsPersonalizationEffect(t *testing.T) {
+	// The trend needs a graph with room to personalize (hop-distance
+	// spread); the heavy-tailed CA stand-in at half scale shows it robustly,
+	// while the tiny SBM profile is variance-dominated.
+	sc := tiny
+	sc.Graph = 0.5
+	sc.TestNodes = 3
+	sc.Datasets = []string{"CA"}
+	sc.BaselineDatasets = []string{"CA"}
+	tab := mustRun(t, "fig5", sc)
+	// For each alpha the |T|=1 relative error must be below the |T|=|V| one
+	// (the figure's headline trend).
+	rel := map[string]map[string]float64{}
+	for _, r := range tab.Rows {
+		alpha := r[1]
+		if rel[alpha] == nil {
+			rel[alpha] = map[string]float64{}
+		}
+		v, err := strconv.ParseFloat(r[3], 64)
+		if err != nil {
+			t.Fatalf("bad RelErr cell %q", r[3])
+		}
+		rel[alpha][r[2]] = v
+	}
+	// Average the small-|T| settings across alphas: tie-breaking noise on a
+	// reduced-scale graph can push an individual (alpha, |T|) cell above 1,
+	// but the aggregate trend must hold.
+	var smallSum, fullSum, n float64
+	for alpha, by := range rel {
+		small, okS := by["1"]
+		pct, okP := by["1%|V|"]
+		full, okF := by["|V|"]
+		if !okS || !okP || !okF {
+			t.Fatalf("alpha %s: missing |T| rows", alpha)
+		}
+		smallSum += (small + pct) / 2
+		fullSum += full
+		n++
+	}
+	if smallSum/n > fullSum/n*1.02 {
+		t.Errorf("mean small-|T| relative error %.3f not below |T|=|V| mean %.3f",
+			smallSum/n, fullSum/n)
+	}
+}
+
+func TestFig6ReportsSlope(t *testing.T) {
+	tab := mustRun(t, "fig6", tiny)
+	foundSlope := false
+	for _, r := range tab.Rows {
+		if len(r) > 2 && r[2] == "slope" {
+			foundSlope = true
+			v, err := strconv.ParseFloat(r[3], 64)
+			if err != nil {
+				t.Fatalf("bad slope cell %q", r[3])
+			}
+			if v < 0.3 || v > 2.5 {
+				t.Errorf("slope %v implausibly far from 1", v)
+			}
+		}
+	}
+	if !foundSlope {
+		t.Fatal("no slope rows")
+	}
+}
+
+func TestFig7AccuracyCells(t *testing.T) {
+	tab := mustRun(t, "fig7", tiny)
+	sawPegasus, sawBaseline := false, false
+	for _, r := range tab.Rows {
+		if r[2] == string(MPegasus) {
+			sawPegasus = true
+			sm, err := strconv.ParseFloat(r[5], 64)
+			if err != nil {
+				t.Fatalf("bad SMAPE cell %q", r[5])
+			}
+			if sm < 0 || sm > 1 {
+				t.Errorf("SMAPE %v outside [0,1]", sm)
+			}
+		}
+		if r[2] == string(MKGrass) && r[3] != "oot" {
+			sawBaseline = true
+		}
+	}
+	if !sawPegasus || !sawBaseline {
+		t.Fatal("missing method rows")
+	}
+}
+
+func TestFig8HasUncompressedReference(t *testing.T) {
+	tab := mustRun(t, "fig8", tiny)
+	found := false
+	for _, r := range tab.Rows {
+		if r[1] == "Uncompressed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing uncompressed reference row")
+	}
+}
+
+func TestFig9CoversAlphas(t *testing.T) {
+	tab := mustRun(t, "fig9", tiny)
+	alphas := map[string]bool{}
+	for _, r := range tab.Rows {
+		alphas[r[1]] = true
+	}
+	if len(alphas) != 6 {
+		t.Fatalf("alphas covered = %d, want 6", len(alphas))
+	}
+}
+
+func TestFig11CoversBetas(t *testing.T) {
+	tab := mustRun(t, "fig11", tiny)
+	betas := map[string]bool{}
+	for _, r := range tab.Rows {
+		betas[r[1]] = true
+	}
+	if len(betas) != 8 {
+		t.Fatalf("betas covered = %d, want 8", len(betas))
+	}
+}
+
+func TestFig12CoversSystems(t *testing.T) {
+	tab := mustRun(t, "fig12", tiny)
+	systems := map[string]bool{}
+	for _, r := range tab.Rows {
+		systems[r[2]] = true
+	}
+	for _, want := range []string{"PeGaSus", "SSumM", "louvain", "blp", "shpi", "shpii", "shpkl"} {
+		if !systems[want] {
+			t.Errorf("missing system %q (got %v)", want, systems)
+		}
+	}
+}
+
+func TestAblationRowsPaired(t *testing.T) {
+	for _, id := range []string{"ablation", "ablation-threshold", "ablation-grouping"} {
+		tab := mustRun(t, id, tiny)
+		if len(tab.Rows)%2 != 0 {
+			t.Fatalf("%s: rows must come in variant pairs", id)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Note: "n", Header: []string{"a", "bb"}}
+	tab.Append(1.23456789, "x")
+	out := tab.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "1.235") {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+}

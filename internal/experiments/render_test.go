@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		Title:  "T",
+		Header: []string{"Dataset", "Ratio", "Method", "SMAPE"},
+	}
+	t.Append("LA", 0.3, "PeGaSus", 0.5)
+	t.Append("LA", 0.5, "PeGaSus", 0.4)
+	t.Append("LA", 0.3, "SSumM", 0.6)
+	t.Append("LA", 0.5, "SSumM", 0.55)
+	t.Append("LA", 0.5, "k-GraSS", "oot") // unparsable row skipped by series
+	return t
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := sampleTable()
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("CSV has %d lines, want 6", len(lines))
+	}
+	if lines[0] != "Dataset,Ratio,Method,SMAPE" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "LA,0.3,PeGaSus,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	tab := &Table{Header: []string{"a"}, Rows: [][]string{{`x,"y"`}}}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"x,""y"""`) {
+		t.Fatalf("quoting wrong: %q", buf.String())
+	}
+}
+
+func TestSeriesFrom(t *testing.T) {
+	tab := sampleTable()
+	series := tab.SeriesFrom([]int{2}, 1, 3)
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2 (oot row skipped)", len(series))
+	}
+	if series[0].Name != "PeGaSus" || len(series[0].X) != 2 {
+		t.Fatalf("unexpected first series %+v", series[0])
+	}
+	if series[1].Name != "SSumM" {
+		t.Fatalf("unexpected second series %+v", series[1])
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	tab := sampleTable()
+	series := tab.SeriesFrom([]int{2}, 1, 3)
+	out := RenderChart(series, 40, 10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing markers:\n%s", out)
+	}
+	if !strings.Contains(out, "PeGaSus") || !strings.Contains(out, "SSumM") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+	// Degenerate inputs do not panic.
+	if got := RenderChart(nil, 40, 10); !strings.Contains(got, "no data") {
+		t.Fatalf("empty chart = %q", got)
+	}
+	one := []Series{{Name: "p", X: []float64{1}, Y: []float64{2}}}
+	if got := RenderChart(one, 5, 3); got == "" {
+		t.Fatal("single-point chart empty")
+	}
+}

@@ -1,0 +1,237 @@
+// Package gen provides deterministic synthetic-graph generators used by the
+// experiments: Barabási–Albert preferential attachment (the paper's
+// billion-edge synthetic, Table II row "ST"), Watts–Strogatz small worlds
+// (the Fig. 10 effective-diameter sweep), Erdős–Rényi G(n,m), a planted
+// partition stochastic block model (stand-ins for the paper's community-rich
+// real graphs), and a 2-D lattice road-network-like generator.
+//
+// All generators are deterministic functions of their parameters and seed,
+// and always emit simple undirected graphs.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pegasus/internal/graph"
+)
+
+// BarabasiAlbert generates a preferential-attachment graph with n nodes
+// where each new node attaches to m existing nodes chosen proportionally to
+// degree (the BA model [40] used for the paper's synthetic billion-edge
+// graph). The resulting graph is connected and has ~ (n-m)·m edges.
+func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("gen: BarabasiAlbert requires n>0, m>0 (got n=%d m=%d)", n, m))
+	}
+	if m >= n {
+		m = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+
+	// repeated holds node IDs once per incident edge endpoint; sampling a
+	// uniform element of repeated samples nodes proportionally to degree.
+	repeated := make([]graph.NodeID, 0, 2*n*m)
+
+	// Seed clique over the first m+1 nodes keeps the graph connected.
+	for u := 0; u <= m && u < n; u++ {
+		for v := 0; v < u; v++ {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			repeated = append(repeated, graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	chosen := make(map[graph.NodeID]bool, m)
+	for u := m + 1; u < n; u++ {
+		clear(chosen)
+		for len(chosen) < m {
+			t := repeated[rng.Intn(len(repeated))]
+			chosen[t] = true
+		}
+		for t := range chosen {
+			b.AddEdge(graph.NodeID(u), t)
+			repeated = append(repeated, graph.NodeID(u), t)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz generates a small-world graph [49]: a ring lattice of n
+// nodes where each node connects to its k nearest neighbors (k even), with
+// each edge rewired with probability p. p=0 keeps the high-diameter lattice;
+// p=0.1 produces a small effective diameter — the Fig. 10 sweep.
+func WattsStrogatz(n, k int, p float64, seed int64) *graph.Graph {
+	if n <= 0 || k <= 0 || k%2 != 0 {
+		panic(fmt.Sprintf("gen: WattsStrogatz requires n>0 and even k>0 (got n=%d k=%d)", n, k))
+	}
+	if k >= n {
+		k = n - 1
+		if k%2 == 1 {
+			k--
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pair struct{ u, v graph.NodeID }
+	present := make(map[pair]bool, n*k/2)
+	norm := func(u, v graph.NodeID) pair {
+		if u > v {
+			u, v = v, u
+		}
+		return pair{u, v}
+	}
+	var edges []pair
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			e := norm(graph.NodeID(u), graph.NodeID(v))
+			if !present[e] {
+				present[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	// Rewire: for each lattice edge (u, u+j), with probability p replace v
+	// with a uniform random node, avoiding self-loops and duplicates.
+	for i := range edges {
+		if rng.Float64() >= p {
+			continue
+		}
+		e := edges[i]
+		u := e.u
+		for attempt := 0; attempt < 2*n; attempt++ {
+			w := graph.NodeID(rng.Intn(n))
+			if w == u {
+				continue
+			}
+			ne := norm(u, w)
+			if present[ne] {
+				continue
+			}
+			delete(present, e)
+			present[ne] = true
+			edges[i] = ne
+			break
+		}
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v)
+	}
+	return b.Build()
+}
+
+// ErdosRenyi generates G(n, m): m distinct uniform random edges over n
+// nodes.
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	if n <= 1 {
+		panic("gen: ErdosRenyi requires n>1")
+	}
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		m = int(maxEdges)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pair struct{ u, v graph.NodeID }
+	present := make(map[pair]bool, m)
+	b := graph.NewBuilder(n)
+	for len(present) < m {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{u, v}
+		if present[p] {
+			continue
+		}
+		present[p] = true
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// SBMConfig parameterizes PlantedPartition.
+type SBMConfig struct {
+	Nodes       int     // total node count
+	Communities int     // number of equally sized communities
+	AvgDegree   float64 // expected average degree
+	MixingP     float64 // fraction of a node's edges that leave its community (0..1)
+}
+
+// PlantedPartition generates a stochastic block model graph with equally
+// sized communities: each node receives ~AvgDegree/2 edges, a MixingP
+// fraction of which go to uniform random nodes outside its community and the
+// rest to uniform random nodes inside. These community-rich graphs stand in
+// for the paper's social / collaboration / co-purchase datasets.
+func PlantedPartition(cfg SBMConfig, seed int64) *graph.Graph {
+	if cfg.Nodes <= 1 || cfg.Communities <= 0 {
+		panic("gen: PlantedPartition requires Nodes>1, Communities>0")
+	}
+	if cfg.Communities > cfg.Nodes {
+		cfg.Communities = cfg.Nodes
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := cfg.Nodes
+	c := cfg.Communities
+	commOf := func(u int) int { return u * c / n }
+	commStart := func(i int) int { return (i*n + c - 1) / c }
+	commEnd := func(i int) int { return ((i+1)*n + c - 1) / c } // exclusive
+	b := graph.NewBuilder(n)
+	edgesPerNode := cfg.AvgDegree / 2
+	for u := 0; u < n; u++ {
+		cu := commOf(u)
+		lo, hi := commStart(cu), commEnd(cu)
+		// Draw a Poisson-ish count by stochastic rounding of edgesPerNode.
+		cnt := int(edgesPerNode)
+		if rng.Float64() < edgesPerNode-float64(cnt) {
+			cnt++
+		}
+		for e := 0; e < cnt; e++ {
+			var v int
+			if rng.Float64() < cfg.MixingP || hi-lo <= 1 {
+				v = rng.Intn(n)
+			} else {
+				v = lo + rng.Intn(hi-lo)
+			}
+			if v == u {
+				continue
+			}
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return b.Build()
+}
+
+// Grid2D generates a w×h 4-neighbor lattice, optionally with a fraction of
+// random "highway" chords, approximating a road network.
+func Grid2D(w, h int, highways float64, seed int64) *graph.Graph {
+	if w <= 0 || h <= 0 {
+		panic("gen: Grid2D requires positive dimensions")
+	}
+	n := w * h
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	id := func(x, y int) graph.NodeID { return graph.NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	extra := int(highways * float64(n))
+	for i := 0; i < extra; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}

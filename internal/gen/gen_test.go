@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"testing"
+
+	"pegasus/internal/graph"
+)
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 1)
+	if g.NumNodes() != 500 {
+		t.Fatalf("|V| = %d, want 500", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	_, count := graph.Components(g)
+	if count != 1 {
+		t.Fatalf("BA graph has %d components, want 1", count)
+	}
+	// ~ (n-m)*m + seed clique edges; allow slack for dedup.
+	want := int64((500-3)*3 + 3)
+	if g.NumEdges() < want*8/10 || g.NumEdges() > want {
+		t.Fatalf("|E| = %d, want near %d", g.NumEdges(), want)
+	}
+	// Heavy tail: max degree far above average.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Errorf("BA max degree %d not heavy-tailed vs avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestBarabasiAlbertDeterminism(t *testing.T) {
+	a := BarabasiAlbert(200, 2, 7)
+	b := BarabasiAlbert(200, 2, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("BA not deterministic for fixed seed")
+	}
+	c := BarabasiAlbert(200, 2, 8)
+	// Different seeds should (overwhelmingly) differ in some adjacency.
+	same := true
+	for u := 0; u < a.NumNodes() && same; u++ {
+		x, y := a.Neighbors(graph.NodeID(u)), c.Neighbors(graph.NodeID(u))
+		if len(x) != len(y) {
+			same = false
+			break
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical BA graphs")
+	}
+}
+
+func TestBarabasiAlbertSmallN(t *testing.T) {
+	g := BarabasiAlbert(3, 5, 1) // m clamped to n-1
+	if g.NumNodes() != 3 {
+		t.Fatalf("|V| = %d, want 3", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	g := WattsStrogatz(100, 4, 0, 1)
+	if g.NumNodes() != 100 {
+		t.Fatalf("|V| = %d, want 100", g.NumNodes())
+	}
+	if g.NumEdges() != 200 { // n*k/2
+		t.Fatalf("|E| = %d, want 200", g.NumEdges())
+	}
+	for u := 0; u < 100; u++ {
+		if d := g.Degree(graph.NodeID(u)); d != 4 {
+			t.Fatalf("lattice degree(%d) = %d, want 4", u, d)
+		}
+	}
+}
+
+func TestWattsStrogatzRewiringShrinksDiameter(t *testing.T) {
+	lattice := WattsStrogatz(1000, 20, 0, 3)
+	rewired := WattsStrogatz(1000, 20, 0.1, 3)
+	dl := graph.EffectiveDiameter(lattice, 60, 1)
+	dr := graph.EffectiveDiameter(rewired, 60, 1)
+	if dr >= dl {
+		t.Fatalf("rewiring did not shrink effective diameter: %v >= %v", dr, dl)
+	}
+	if err := rewired.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Edge count preserved by rewiring.
+	if lattice.NumEdges() != rewired.NumEdges() {
+		t.Fatalf("rewiring changed |E|: %d -> %d", lattice.NumEdges(), rewired.NumEdges())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 5)
+	if g.NumNodes() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("|V|=%d |E|=%d, want 100,300", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Requesting more than C(n,2) edges clamps.
+	small := ErdosRenyi(5, 100, 5)
+	if small.NumEdges() != 10 {
+		t.Fatalf("clamped |E| = %d, want 10", small.NumEdges())
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	cfg := SBMConfig{Nodes: 600, Communities: 6, AvgDegree: 10, MixingP: 0.05}
+	g := PlantedPartition(cfg, 2)
+	if g.NumNodes() != 600 {
+		t.Fatalf("|V| = %d, want 600", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	avg := g.AvgDegree()
+	if avg < 6 || avg > 12 {
+		t.Fatalf("avg degree %.1f outside expected band around 10", avg)
+	}
+	// Communities should be assortative: count intra vs inter edges.
+	n, c := cfg.Nodes, cfg.Communities
+	commOf := func(u graph.NodeID) int { return int(u) * c / n }
+	intra, inter := 0, 0
+	g.Edges(func(u, v graph.NodeID) bool {
+		if commOf(u) == commOf(v) {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	if intra <= 5*inter {
+		t.Fatalf("SBM not assortative enough: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(10, 7, 0, 1)
+	if g.NumNodes() != 70 {
+		t.Fatalf("|V| = %d, want 70", g.NumNodes())
+	}
+	// Lattice edges: (w-1)*h + w*(h-1) = 9*7 + 10*6 = 123.
+	if g.NumEdges() != 123 {
+		t.Fatalf("|E| = %d, want 123", g.NumEdges())
+	}
+	hw := Grid2D(10, 7, 0.2, 1)
+	if hw.NumEdges() <= g.NumEdges() {
+		t.Fatal("highways did not add edges")
+	}
+	if err := hw.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	assertPanics(t, func() { BarabasiAlbert(0, 1, 1) })
+	assertPanics(t, func() { WattsStrogatz(10, 3, 0, 1) }) // odd k
+	assertPanics(t, func() { ErdosRenyi(1, 1, 1) })
+	assertPanics(t, func() { PlantedPartition(SBMConfig{Nodes: 1, Communities: 1}, 1) })
+	assertPanics(t, func() { Grid2D(0, 5, 0, 1) })
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,66 @@
+package graph
+
+// Unreached marks nodes not reached by a traversal in distance vectors.
+const Unreached int32 = -1
+
+// BFS computes hop distances from source to every node. Unreachable nodes
+// get Unreached.
+func BFS(g *Graph, source NodeID) []int32 {
+	return MultiSourceBFS(g, []NodeID{source})
+}
+
+// MultiSourceBFS computes, for every node, the minimum hop distance to any
+// of the given sources (D(u,T) of Eq. (2)). Unreachable nodes get Unreached.
+// Duplicate sources are harmless.
+func MultiSourceBFS(g *Graph, sources []NodeID) []int32 {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	queue := make([]NodeID, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] == Unreached {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == Unreached {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSOrder returns nodes in BFS order from source, restricted to the
+// component of source. Useful for sampling "adjacent" target nodes (§V-E,
+// Fig. 10 uses 100 adjacent nodes sampled by BFS).
+func BFSOrder(g *Graph, source NodeID, limit int) []NodeID {
+	n := g.NumNodes()
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	seen := make([]bool, n)
+	queue := make([]NodeID, 0, limit)
+	seen[source] = true
+	queue = append(queue, source)
+	for head := 0; head < len(queue) && len(queue) < limit; head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+				if len(queue) == limit {
+					break
+				}
+			}
+		}
+	}
+	return queue
+}

@@ -1,0 +1,190 @@
+package graph
+
+import "testing"
+
+// path graph 0-1-2-3-4 plus isolated node 5
+func pathGraph() *Graph {
+	b := NewBuilder(6)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.Build()
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := pathGraph()
+	d := BFS(g, 0)
+	want := []int32{0, 1, 2, 3, 4, Unreached}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestMultiSourceBFS(t *testing.T) {
+	g := pathGraph()
+	d := MultiSourceBFS(g, []NodeID{0, 4})
+	want := []int32{0, 1, 2, 1, 0, Unreached}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestMultiSourceBFSDuplicateSources(t *testing.T) {
+	g := pathGraph()
+	d := MultiSourceBFS(g, []NodeID{2, 2, 2})
+	if d[2] != 0 || d[0] != 2 || d[4] != 2 {
+		t.Fatalf("unexpected distances %v", d)
+	}
+}
+
+func TestBFSOrder(t *testing.T) {
+	g := pathGraph()
+	order := BFSOrder(g, 2, 0)
+	if len(order) != 5 {
+		t.Fatalf("BFSOrder visited %d nodes, want 5 (component size)", len(order))
+	}
+	if order[0] != 2 {
+		t.Fatalf("BFSOrder starts at %d, want source 2", order[0])
+	}
+	// Limited traversal.
+	lim := BFSOrder(g, 0, 3)
+	if len(lim) != 3 {
+		t.Fatalf("BFSOrder limit: got %d nodes, want 3", len(lim))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := pathGraph()
+	labels, count := Components(g)
+	if count != 2 {
+		t.Fatalf("components = %d, want 2", count)
+	}
+	for i := 0; i < 5; i++ {
+		if labels[i] != labels[0] {
+			t.Errorf("node %d in component %d, want %d", i, labels[i], labels[0])
+		}
+	}
+	if labels[5] == labels[0] {
+		t.Error("isolated node shares component with path")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := NewBuilder(7)
+	// component A: 0-1-2 (3 nodes), component B: 3-4 (2 nodes), isolated: 5, 6
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	lcc, ids := LargestComponent(g)
+	if lcc.NumNodes() != 3 || lcc.NumEdges() != 2 {
+		t.Fatalf("LCC |V|=%d |E|=%d, want 3,2", lcc.NumNodes(), lcc.NumEdges())
+	}
+	for i, orig := range ids {
+		if orig != NodeID(i) {
+			t.Errorf("ids[%d] = %d, want %d", i, orig, i)
+		}
+	}
+	// Already-connected graph is returned as-is.
+	p := pathGraphConnected()
+	same, _ := LargestComponent(p)
+	if same.NumNodes() != p.NumNodes() {
+		t.Fatalf("connected graph shrunk: %d -> %d", p.NumNodes(), same.NumNodes())
+	}
+}
+
+func pathGraphConnected() *Graph {
+	b := NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.Build()
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := testGraph(t) // triangle 0,1,2 + pendant 3
+	sub, ids := InducedSubgraph(g, func(u NodeID) bool { return u != 3 })
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("sub |V|=%d |E|=%d, want 3,3", sub.NumNodes(), sub.NumEdges())
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids len = %d, want 3", len(ids))
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSampleInducedSubgraph(t *testing.T) {
+	g := pathGraphConnected()
+	sub := SampleInducedSubgraph(g, 0.6, 1)
+	if sub.NumNodes() != 3 {
+		t.Fatalf("sampled |V| = %d, want 3", sub.NumNodes())
+	}
+	full := SampleInducedSubgraph(g, 1.0, 1)
+	if full != g {
+		t.Fatal("frac>=1 should return the original graph")
+	}
+}
+
+func TestSampleNodes(t *testing.T) {
+	g := pathGraphConnected()
+	s := SampleNodes(g, 3, 42)
+	if len(s) != 3 {
+		t.Fatalf("sampled %d nodes, want 3", len(s))
+	}
+	seen := map[NodeID]bool{}
+	for _, u := range s {
+		if seen[u] {
+			t.Fatalf("duplicate sample %d", u)
+		}
+		seen[u] = true
+	}
+	// Deterministic for same seed.
+	s2 := SampleNodes(g, 3, 42)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("SampleNodes not deterministic for fixed seed")
+		}
+	}
+	if got := SampleNodes(g, 100, 1); len(got) != g.NumNodes() {
+		t.Fatalf("oversample returned %d, want %d", len(got), g.NumNodes())
+	}
+}
+
+func TestEffectiveDiameter(t *testing.T) {
+	// Path of 11 nodes: exact distances known; 90th percentile near 7-8.
+	b := NewBuilder(11)
+	for i := 0; i < 10; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	g := b.Build()
+	d := EffectiveDiameter(g, 0, 7) // all sources
+	if d < 5 || d > 10 {
+		t.Fatalf("EffectiveDiameter(path11) = %v, want within [5,10]", d)
+	}
+	// A clique has effective diameter <= 1.
+	cb := NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			cb.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	clique := cb.Build()
+	if d := EffectiveDiameter(clique, 0, 7); d > 1 {
+		t.Fatalf("EffectiveDiameter(K6) = %v, want <= 1", d)
+	}
+	// Diameter grows with path length.
+	b2 := NewBuilder(41)
+	for i := 0; i < 40; i++ {
+		b2.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	longer := EffectiveDiameter(b2.Build(), 0, 7)
+	if longer <= d {
+		t.Fatalf("longer path should have larger effective diameter: %v <= %v", longer, d)
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces a simple undirected Graph. It
+// tolerates duplicate edges, both edge orientations, and self-loops (which
+// are dropped), matching the dataset preprocessing of §V-A ("we removed all
+// self-loops and edge directions").
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a builder for a graph with n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// NumNodes returns the declared node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddEdge records the undirected edge {u,v}. Self-loops are ignored.
+// Out-of-range endpoints grow the node count.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if int(u) >= b.n {
+		b.n = int(u) + 1
+	}
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{u, v})
+}
+
+// AddEdges records a batch of edges.
+func (b *Builder) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+}
+
+// Build finalizes the graph: edges are deduplicated and the CSR arrays are
+// assembled with sorted adjacency lists.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	b.edges = dedup
+	return FromEdges(b.n, b.edges)
+}
+
+// FromEdges builds a Graph from a deduplicated list of undirected edges with
+// u < v. It panics if an endpoint is out of range; callers that cannot
+// guarantee clean input should use Builder instead.
+func FromEdges(n int, edges []Edge) *Graph {
+	offsets := make([]int64, n+1)
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			panic(fmt.Sprintf("graph: edge {%d,%d} out of range for n=%d", e.U, e.V, n))
+		}
+		offsets[e.U+1]++
+		offsets[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	adj := make([]NodeID, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	// Adjacency lists must be sorted for HasEdge; counting sort above emits
+	// neighbors in edge order, so sort each bucket.
+	for u := 0; u < n; u++ {
+		ns := adj[offsets[u]:offsets[u+1]]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	return g
+}

@@ -1,0 +1,84 @@
+package graph
+
+// Components labels each node with a connected-component ID (0-based, in
+// discovery order) and returns the labels and the component count.
+func Components(g *Graph) (labels []int32, count int) {
+	n := g.NumNodes()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]NodeID, 0, 1024)
+	for s := 0; s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], NodeID(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(u) {
+				if labels[v] == -1 {
+					labels[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent extracts the largest connected component as a new graph
+// with renumbered node IDs. It returns the subgraph and the mapping from new
+// IDs to original IDs. Isolated nodes form singleton components and are kept
+// only if they constitute the largest component (i.e. the graph is empty of
+// edges). This mirrors the paper's preprocessing ("used only the largest
+// connected components", §V-A).
+func LargestComponent(g *Graph) (*Graph, []NodeID) {
+	labels, count := Components(g)
+	if count <= 1 {
+		ids := make([]NodeID, g.NumNodes())
+		for i := range ids {
+			ids[i] = NodeID(i)
+		}
+		return g, ids
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	return InducedSubgraph(g, func(u NodeID) bool { return labels[u] == int32(best) })
+}
+
+// InducedSubgraph extracts the subgraph induced by nodes satisfying keep,
+// renumbering node IDs densely. It returns the subgraph and the mapping from
+// new IDs to original IDs.
+func InducedSubgraph(g *Graph, keep func(NodeID) bool) (*Graph, []NodeID) {
+	n := g.NumNodes()
+	remap := make([]int32, n)
+	var ids []NodeID
+	for u := 0; u < n; u++ {
+		if keep(NodeID(u)) {
+			remap[u] = int32(len(ids))
+			ids = append(ids, NodeID(u))
+		} else {
+			remap[u] = -1
+		}
+	}
+	var edges []Edge
+	g.Edges(func(u, v NodeID) bool {
+		if remap[u] >= 0 && remap[v] >= 0 {
+			edges = append(edges, Edge{NodeID(remap[u]), NodeID(remap[v])})
+		}
+		return true
+	})
+	return FromEdges(len(ids), edges), ids
+}

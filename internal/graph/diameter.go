@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// EffectiveDiameter estimates the 90-percentile effective diameter of g: the
+// minimum number of hops within which 90% of connected node pairs lie
+// (Footnote 6 of the paper). It runs BFS from up to samples random sources
+// and pools the observed pairwise distances. Deterministic for a given seed.
+func EffectiveDiameter(g *Graph, samples int, seed int64) float64 {
+	return PercentileDiameter(g, 0.9, samples, seed)
+}
+
+// PercentileDiameter generalizes EffectiveDiameter to an arbitrary
+// percentile p in (0,1].
+func PercentileDiameter(g *Graph, p float64, samples int, seed int64) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	if samples <= 0 || samples > n {
+		samples = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+
+	// Histogram of distances over sampled sources.
+	var hist []int64
+	for i := 0; i < samples; i++ {
+		dist := BFS(g, NodeID(perm[i]))
+		for u, d := range dist {
+			if d <= 0 || u == perm[i] {
+				continue // unreachable or self
+			}
+			for int(d) >= len(hist) {
+				hist = append(hist, 0)
+			}
+			hist[d]++
+		}
+	}
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(p * float64(total))
+	var cum int64
+	for d := 1; d < len(hist); d++ {
+		prev := cum
+		cum += hist[d]
+		if cum >= target {
+			// Linear interpolation within the final hop bucket, as in the
+			// standard smoothed effective-diameter definition.
+			if hist[d] == 0 {
+				return float64(d)
+			}
+			frac := float64(target-prev) / float64(hist[d])
+			return float64(d-1) + frac
+		}
+	}
+	return float64(len(hist) - 1)
+}
+
+// SampleNodes returns k distinct node IDs drawn uniformly at random.
+// Deterministic for a given seed. k is clamped to [0, NumNodes].
+func SampleNodes(g *Graph, k int, seed int64) []NodeID {
+	n := g.NumNodes()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([]NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = NodeID(perm[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SampleInducedSubgraph samples frac of the nodes uniformly at random and
+// returns the induced subgraph (the Fig. 6 scalability methodology:
+// "obtained induced subgraphs of different sizes by randomly sampling
+// different numbers of nodes").
+func SampleInducedSubgraph(g *Graph, frac float64, seed int64) *Graph {
+	if frac >= 1 {
+		return g
+	}
+	k := int(frac * float64(g.NumNodes()))
+	picked := SampleNodes(g, k, seed)
+	in := make([]bool, g.NumNodes())
+	for _, u := range picked {
+		in[u] = true
+	}
+	sub, _ := InducedSubgraph(g, func(u NodeID) bool { return in[u] })
+	return sub
+}

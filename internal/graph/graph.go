@@ -1,0 +1,163 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// library: a compact CSR (compressed sparse row) representation, construction
+// from edge lists, traversals, connectivity, diameter estimation, sampling,
+// and text/binary serialization.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected, which
+// matches the input model of the paper (§II-A). Node identifiers are dense
+// integers in [0, NumNodes).
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node. IDs are dense: 0..NumNodes-1.
+type NodeID = uint32
+
+// Edge is an undirected edge {U, V}.
+type Edge struct {
+	U, V NodeID
+}
+
+// Graph is an immutable simple undirected graph in CSR form. Each undirected
+// edge {u,v} is stored twice (in the adjacency of u and of v); NumEdges
+// reports the number of undirected edges, i.e. len(adj)/2.
+type Graph struct {
+	offsets []int64  // len NumNodes+1; adjacency of u is adj[offsets[u]:offsets[u+1]]
+	adj     []NodeID // sorted within each node's range
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns |E| (undirected edge count).
+func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) / 2 }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u NodeID) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbors returns the sorted adjacency list of u. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	return g.adj[g.offsets[u]:g.offsets[u+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge, via binary search over the
+// smaller adjacency list.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ns) && ns[lo] == v
+}
+
+// Edges calls fn for every undirected edge exactly once (u < v). It stops
+// early if fn returns false.
+func (g *Graph) Edges(fn func(u, v NodeID) bool) {
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(NodeID(u)) {
+			if NodeID(u) < v {
+				if !fn(NodeID(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// EdgeList materializes all undirected edges with u < v.
+func (g *Graph) EdgeList() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	g.Edges(func(u, v NodeID) bool {
+		out = append(out, Edge{u, v})
+		return true
+	})
+	return out
+}
+
+// MaxDegree returns the maximum node degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(NodeID(u)); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// AvgDegree returns the average degree 2|E|/|V| (0 for the empty graph).
+func (g *Graph) AvgDegree() float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return float64(2*g.NumEdges()) / float64(g.NumNodes())
+}
+
+// SizeBits returns the bit size of the input graph per Eq. (4):
+// 2|E|·log2|V|.
+func (g *Graph) SizeBits() float64 {
+	n := g.NumNodes()
+	if n <= 1 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) * math.Log2(float64(n))
+}
+
+// String implements fmt.Stringer with a short description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d |E|=%d}", g.NumNodes(), g.NumEdges())
+}
+
+// Validate checks structural invariants of the CSR representation: offsets
+// are monotone, adjacency lists are sorted, free of self-loops and
+// duplicates, and every edge appears in both directions. It is intended for
+// tests and costs O(|V|+|E| log d).
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if len(g.offsets) == 0 || g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets must start at 0")
+	}
+	if g.offsets[n] != int64(len(g.adj)) {
+		return fmt.Errorf("graph: offsets[n]=%d != len(adj)=%d", g.offsets[n], len(g.adj))
+	}
+	for u := 0; u < n; u++ {
+		if g.offsets[u] > g.offsets[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", u)
+		}
+		ns := g.Neighbors(NodeID(u))
+		for i, v := range ns {
+			if int(v) >= n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", u, v)
+			}
+			if v == NodeID(u) {
+				return fmt.Errorf("graph: self-loop at %d", u)
+			}
+			if i > 0 && ns[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", u)
+			}
+			if !g.HasEdge(v, NodeID(u)) {
+				return fmt.Errorf("graph: edge {%d,%d} missing reverse direction", u, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"testing"
+)
+
+// triangle plus a pendant: 0-1, 0-2, 1-2, 2-3
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	return b.Build()
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := testGraph(t)
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if got := g.Degree(2); got != 3 {
+		t.Errorf("Degree(2) = %d, want 3", got)
+	}
+	if got := g.Degree(3); got != 1 {
+		t.Errorf("Degree(3) = %d, want 1", got)
+	}
+	wantN2 := []NodeID{0, 1, 3}
+	gotN2 := g.Neighbors(2)
+	if len(gotN2) != len(wantN2) {
+		t.Fatalf("Neighbors(2) = %v, want %v", gotN2, wantN2)
+	}
+	for i := range wantN2 {
+		if gotN2[i] != wantN2[i] {
+			t.Fatalf("Neighbors(2) = %v, want %v", gotN2, wantN2)
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		u, v NodeID
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, true}, {2, 3, true},
+		{0, 3, false}, {1, 3, false}, {3, 3, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(1, 1) // self-loop, dropped
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderGrowsNodeCount(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(5, 9)
+	g := b.Build()
+	if g.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", g.NumNodes())
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := testGraph(t)
+	var got []Edge
+	g.Edges(func(u, v NodeID) bool {
+		if u >= v {
+			t.Fatalf("Edges emitted unordered pair (%d,%d)", u, v)
+		}
+		got = append(got, Edge{u, v})
+		return true
+	})
+	if int64(len(got)) != g.NumEdges() {
+		t.Fatalf("Edges emitted %d pairs, want %d", len(got), g.NumEdges())
+	}
+	// Early stop.
+	count := 0
+	g.Edges(func(u, v NodeID) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop: visited %d, want 2", count)
+	}
+}
+
+func TestEdgeList(t *testing.T) {
+	g := testGraph(t)
+	el := g.EdgeList()
+	if len(el) != 4 {
+		t.Fatalf("EdgeList len = %d, want 4", len(el))
+	}
+	rebuilt := FromEdges(g.NumNodes(), el)
+	if err := rebuilt.Validate(); err != nil {
+		t.Fatalf("rebuilt Validate: %v", err)
+	}
+	if rebuilt.NumEdges() != g.NumEdges() {
+		t.Fatalf("rebuilt edges = %d, want %d", rebuilt.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	g := testGraph(t)
+	// Eq. (4): 2|E| log2|V| = 2*4*2 = 16.
+	if got := g.SizeBits(); got != 16 {
+		t.Fatalf("SizeBits = %v, want 16", got)
+	}
+	empty := NewBuilder(1).Build()
+	if got := empty.SizeBits(); got != 0 {
+		t.Fatalf("SizeBits(singleton) = %v, want 0", got)
+	}
+}
+
+func TestMaxAndAvgDegree(t *testing.T) {
+	g := testGraph(t)
+	if got := g.MaxDegree(); got != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", got)
+	}
+	if got := g.AvgDegree(); got != 2 {
+		t.Fatalf("AvgDegree = %v, want 2", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := testGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	// Corrupt a neighbor entry to create an asymmetric edge.
+	g2 := testGraph(t)
+	g2.adj[0] = 3 // node 0's first neighbor becomes 3 without reverse
+	if err := g2.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric adjacency")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: |V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate(empty): %v", err)
+	}
+}

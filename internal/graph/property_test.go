@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a graph from random edges; used as a property-test
+// generator.
+func randomGraph(rng *rand.Rand, maxN, maxM int) *Graph {
+	n := 2 + rng.Intn(maxN-1)
+	m := rng.Intn(maxM)
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestPropertyBuilderAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 60, 200)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHasEdgeMatchesNeighborScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 40, 120)
+		for trial := 0; trial < 30; trial++ {
+			u := NodeID(rng.Intn(g.NumNodes()))
+			v := NodeID(rng.Intn(g.NumNodes()))
+			want := false
+			for _, w := range g.Neighbors(u) {
+				if w == v {
+					want = true
+					break
+				}
+			}
+			if g.HasEdge(u, v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDegreeSumIsTwiceEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 50, 150)
+		var sum int64
+		for u := 0; u < g.NumNodes(); u++ {
+			sum += int64(g.Degree(NodeID(u)))
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBFSTriangleInequality(t *testing.T) {
+	// For any edge {u,v}: |dist(u)-dist(v)| <= 1 when both reached.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 40, 100)
+		src := NodeID(rng.Intn(g.NumNodes()))
+		d := BFS(g, src)
+		ok := true
+		g.Edges(func(u, v NodeID) bool {
+			if d[u] != Unreached && d[v] != Unreached {
+				diff := d[u] - d[v]
+				if diff < -1 || diff > 1 {
+					ok = false
+					return false
+				}
+			}
+			if (d[u] == Unreached) != (d[v] == Unreached) {
+				ok = false // an edge cannot cross the reachability frontier
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 50, 60)
+		labels, count := Components(g)
+		seen := make([]bool, count)
+		for _, l := range labels {
+			if l < 0 || int(l) >= count {
+				return false
+			}
+			seen[l] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Edges never cross components.
+		ok := true
+		g.Edges(func(u, v NodeID) bool {
+			if labels[u] != labels[v] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

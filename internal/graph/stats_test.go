@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCountTriangles(t *testing.T) {
+	// Triangle + pendant (testGraph): exactly 1 triangle.
+	g := testGraph(t)
+	if got := CountTriangles(g); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+	// K4 has 4 triangles.
+	b := NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	if got := CountTriangles(b.Build()); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+	// A tree has none.
+	tb := NewBuilder(5)
+	tb.AddEdge(0, 1)
+	tb.AddEdge(0, 2)
+	tb.AddEdge(2, 3)
+	tb.AddEdge(2, 4)
+	if got := CountTriangles(tb.Build()); got != 0 {
+		t.Fatalf("tree triangles = %d, want 0", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := testGraph(t) // triangle 0-1-2 + pendant 3
+	s := ComputeStats(g)
+	if s.Nodes != 4 || s.Edges != 4 {
+		t.Fatalf("stats shape wrong: %+v", s)
+	}
+	if s.MinDegree != 1 || s.MaxDegree != 3 {
+		t.Fatalf("degrees wrong: %+v", s)
+	}
+	if s.AvgDegree != 2 || s.MedDegree != 2 {
+		t.Fatalf("avg/median wrong: %+v", s)
+	}
+	if s.Triangles != 1 {
+		t.Fatalf("triangles = %d, want 1", s.Triangles)
+	}
+	// Wedges: deg 2,2,3,1 -> 1+1+3+0 = 5; transitivity = 3/5.
+	if math.Abs(s.GlobalCC-0.6) > 1e-12 {
+		t.Fatalf("GlobalCC = %v, want 0.6", s.GlobalCC)
+	}
+	if s.Components != 1 {
+		t.Fatalf("components = %d, want 1", s.Components)
+	}
+	empty := ComputeStats(NewBuilder(0).Build())
+	if empty.Nodes != 0 {
+		t.Fatal("empty stats wrong")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := testGraph(t)
+	h := DegreeHistogram(g)
+	// degrees: 2,2,3,1 -> h[1]=1, h[2]=2, h[3]=1.
+	if h[1] != 1 || h[2] != 2 || h[3] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// A star is maximally disassortative (hub-leaf only): r = -1 is not
+	// reachable with a single degree pair (variance zero on one side), but a
+	// double star is clearly negative.
+	b := NewBuilder(8)
+	b.AddEdge(0, 1)
+	for i := 2; i < 5; i++ {
+		b.AddEdge(0, NodeID(i))
+	}
+	for i := 5; i < 8; i++ {
+		b.AddEdge(1, NodeID(i))
+	}
+	if r := DegreeAssortativity(b.Build()); r >= 0 {
+		t.Fatalf("double star assortativity = %v, want negative", r)
+	}
+	// A cycle is degree-regular: correlation undefined -> 0.
+	cb := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		cb.AddEdge(NodeID(i), NodeID((i+1)%5))
+	}
+	if r := DegreeAssortativity(cb.Build()); r != 0 {
+		t.Fatalf("cycle assortativity = %v, want 0", r)
+	}
+}

@@ -1,0 +1,159 @@
+// Package metrics implements the evaluation measures of §V-A — SMAPE and
+// Spearman rank correlation for query-answer accuracy — plus exact
+// evaluators for the personalized error objective (Eq. 1) and the plain L1
+// reconstruction error.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pegasus/internal/graph"
+	"pegasus/internal/summary"
+	"pegasus/internal/weights"
+)
+
+// SMAPE returns the symmetric mean absolute percentage error between the
+// ground-truth vector x and the approximation xhat (lower is better):
+// mean over u of |x_u − x̂_u| / (|x_u| + |x̂_u|), with 0 whenever both are 0.
+func SMAPE(x, xhat []float64) (float64, error) {
+	if len(x) != len(xhat) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(x), len(xhat))
+	}
+	if len(x) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range x {
+		num := math.Abs(x[i] - xhat[i])
+		den := math.Abs(x[i]) + math.Abs(xhat[i])
+		if den != 0 {
+			sum += num / den
+		}
+	}
+	return sum / float64(len(x)), nil
+}
+
+// Spearman returns the Spearman rank correlation coefficient between x and
+// xhat (higher is better): the Pearson correlation of their rank vectors,
+// with ties receiving averaged (fractional) ranks. Returns 0 when either
+// vector is constant (correlation undefined).
+func Spearman(x, xhat []float64) (float64, error) {
+	if len(x) != len(xhat) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(x), len(xhat))
+	}
+	if len(x) < 2 {
+		return 0, nil
+	}
+	rx := Ranks(x)
+	ry := Ranks(xhat)
+	return pearson(rx, ry), nil
+}
+
+// Ranks assigns fractional ranks (1-based, ties averaged) to the values.
+func Ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i..j].
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// PersonalizedError evaluates Eq. (1) exactly for a summary of g under the
+// personalized weights w, in O(|V| + |E| + |P|) time:
+//
+//	RE_T(G) = Σ_u Σ_v W_uv · |A(G)_uv − A(Ĝ)_uv|
+//
+// (the ordered double sum of the paper; every erroneous unordered pair
+// contributes its weight twice). The decomposition: pairs inside superedge
+// blocks err when they are non-edges; pairs outside err when they are edges.
+func PersonalizedError(g *graph.Graph, s *summary.Summary, w *weights.Weights) float64 {
+	invSqrtZ := 1 / math.Sqrt(w.Z)
+	n := g.NumNodes()
+	pi := make([]float64, n)
+	for u := 0; u < n; u++ {
+		pi[u] = w.Pi[u] * invSqrtZ
+	}
+	ns := s.NumSupernodes()
+	sumPi := make([]float64, ns)
+	sumPiSq := make([]float64, ns)
+	for u := 0; u < n; u++ {
+		a := s.Supernode(graph.NodeID(u))
+		sumPi[a] += pi[u]
+		sumPiSq[a] += pi[u] * pi[u]
+	}
+	re := 0.0
+	// Covered blocks contribute their total weighted pair mass...
+	for a := 0; a < ns; a++ {
+		s.ForEachSuperNeighbor(uint32(a), func(b uint32, _ float64) {
+			if b < uint32(a) {
+				return // count each superedge once
+			}
+			if b == uint32(a) {
+				re += sumPi[a]*sumPi[a] - sumPiSq[a]
+			} else {
+				re += 2 * sumPi[a] * sumPi[b]
+			}
+		})
+	}
+	// ...minus actual edges inside blocks (correct), plus actual edges
+	// outside blocks (missed).
+	g.Edges(func(u, v graph.NodeID) bool {
+		m := 2 * pi[u] * pi[v]
+		a, b := s.Supernode(u), s.Supernode(v)
+		if _, ok := s.HasSuperedge(a, b); ok {
+			re -= m
+		} else {
+			re += m
+		}
+		return true
+	})
+	if re < 0 {
+		re = 0 // guard float cancellation
+	}
+	return re
+}
+
+// ReconstructionError evaluates the plain (non-personalized) L1 error
+// between A(G) and A(Ĝ) in the same ordered convention: twice the number of
+// erroneous unordered pairs.
+func ReconstructionError(g *graph.Graph, s *summary.Summary) float64 {
+	return PersonalizedError(g, s, weights.Uniform(g.NumNodes()))
+}

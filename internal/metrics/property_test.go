@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Intn(4) == 0 {
+			v[i] = 0 // exercise the 0/0 branch
+		} else {
+			v[i] = rng.NormFloat64()
+		}
+	}
+	return v
+}
+
+func TestPropertySMAPEBoundsAndSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		x := randVec(rng, n)
+		y := randVec(rng, n)
+		a, err := SMAPE(x, y)
+		if err != nil {
+			return false
+		}
+		b, err := SMAPE(y, x)
+		if err != nil {
+			return false
+		}
+		// Bounded in [0,1], symmetric, zero iff equal vectors.
+		if a < 0 || a > 1 || math.Abs(a-b) > 1e-12 {
+			return false
+		}
+		self, _ := SMAPE(x, x)
+		return self == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySpearmanBoundsAndAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(80)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		s, err := Spearman(x, y)
+		if err != nil {
+			return false
+		}
+		if s < -1-1e-12 || s > 1+1e-12 {
+			return false
+		}
+		// Negating one vector reverses its ranks: correlation flips sign
+		// exactly (no ties by construction, almost surely).
+		neg := make([]float64, n)
+		for i := range y {
+			neg[i] = -y[i]
+		}
+		s2, _ := Spearman(x, neg)
+		if math.Abs(s+s2) > 1e-9 {
+			return false
+		}
+		// Self correlation is exactly 1.
+		self, _ := Spearman(x, x)
+		return math.Abs(self-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRanksAreAPermutationAverage(t *testing.T) {
+	// Ranks sum to n(n+1)/2 regardless of ties.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(6)) // many ties
+		}
+		r := Ranks(x)
+		sum := 0.0
+		for _, v := range r {
+			sum += v
+		}
+		want := float64(n) * float64(n+1) / 2
+		return math.Abs(sum-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

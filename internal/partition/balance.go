@@ -1,0 +1,148 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"pegasus/internal/graph"
+)
+
+// BalancedFromCommunities folds arbitrary community labels into exactly m
+// balanced parts: communities are assigned, largest first, to the currently
+// lightest part; communities larger than the balance capacity are split.
+// This realizes Alg. 3's preprocessing ("divide the node set V into m
+// subsets using the Louvain method").
+func BalancedFromCommunities(labels []uint32, m int, seed int64) []uint32 {
+	n := len(labels)
+	if m < 1 {
+		m = 1
+	}
+	cap := (n + m - 1) / m
+	// Collect community member lists.
+	groups := map[uint32][]int{}
+	for u, l := range labels {
+		groups[l] = append(groups[l], u)
+	}
+	type comm struct {
+		members []int
+	}
+	var comms []comm
+	for _, g := range groups {
+		// Split oversized communities into capacity-sized chunks so each
+		// chunk fits in a part.
+		for start := 0; start < len(g); start += cap {
+			end := start + cap
+			if end > len(g) {
+				end = len(g)
+			}
+			comms = append(comms, comm{members: g[start:end]})
+		}
+	}
+	sort.Slice(comms, func(i, j int) bool { return len(comms[i].members) > len(comms[j].members) })
+
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng
+	sizes := make([]int, m)
+	out := make([]uint32, n)
+	for _, c := range comms {
+		// Lightest part wins (first-fit decreasing).
+		best := 0
+		for p := 1; p < m; p++ {
+			if sizes[p] < sizes[best] {
+				best = p
+			}
+		}
+		for _, u := range c.members {
+			out[u] = uint32(best)
+		}
+		sizes[best] += len(c.members)
+	}
+	return out
+}
+
+// RandomBalanced returns a uniformly random partition of n nodes into m
+// parts with sizes differing by at most one — the initialization of BLP and
+// SHP.
+func RandomBalanced(n, m int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([]uint32, n)
+	for i, u := range perm {
+		out[u] = uint32(i % m)
+	}
+	return out
+}
+
+// EdgeCut counts edges whose endpoints lie in different parts.
+func EdgeCut(g *graph.Graph, labels []uint32) int64 {
+	var cut int64
+	g.Edges(func(u, v graph.NodeID) bool {
+		if labels[u] != labels[v] {
+			cut++
+		}
+		return true
+	})
+	return cut
+}
+
+// AvgFanout returns the mean, over nodes with neighbors, of the number of
+// distinct parts hosting a node's neighbors — the probabilistic-fanout
+// objective of SHP, evaluated exactly.
+func AvgFanout(g *graph.Graph, labels []uint32, m int) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	seen := make([]int, m)
+	stamp := 0
+	total, cnt := 0.0, 0
+	for u := 0; u < n; u++ {
+		ns := g.Neighbors(graph.NodeID(u))
+		if len(ns) == 0 {
+			continue
+		}
+		stamp++
+		f := 0
+		for _, v := range ns {
+			p := labels[v]
+			if seen[p] != stamp {
+				seen[p] = stamp
+				f++
+			}
+		}
+		total += float64(f)
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return total / float64(cnt)
+}
+
+// Imbalance returns max part size divided by the ideal n/m (1.0 = perfectly
+// balanced).
+func Imbalance(labels []uint32, m int) float64 {
+	if len(labels) == 0 || m == 0 {
+		return 1
+	}
+	sizes := make([]int, m)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) * float64(m) / float64(len(labels))
+}
+
+// PartCount returns the number of distinct labels.
+func PartCount(labels []uint32) int {
+	seen := map[uint32]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}

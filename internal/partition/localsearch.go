@@ -1,0 +1,148 @@
+package partition
+
+import (
+	"sort"
+
+	"pegasus/internal/graph"
+)
+
+// Constrained local search shared by BLP and the SHP variants: each
+// iteration, every node proposes its best relocation with a positive gain;
+// proposals are then matched pairwise between parts — for parts (i,j), only
+// min(|i→j|, |j→i|) of the highest-gain proposals move in each direction —
+// so part sizes are preserved exactly, as in balanced label propagation
+// [41] and the social hash partitioner's constrained swaps [42].
+
+// gainFunc scores relocating node u from part `from` to part `to`
+// (higher = better; only positive gains generate proposals).
+type gainFunc func(u graph.NodeID, from, to uint32) float64
+
+type proposal struct {
+	u    graph.NodeID
+	to   uint32
+	gain float64
+}
+
+// neighborPartCounts maintains, for every node, the number of neighbors in
+// each part (m is small — 8 in the paper's experiments — so a dense n×m
+// matrix is cheap).
+type neighborPartCounts struct {
+	m   int
+	cnt []int32 // n*m
+}
+
+func newNeighborPartCounts(g *graph.Graph, labels []uint32, m int) *neighborPartCounts {
+	n := g.NumNodes()
+	npc := &neighborPartCounts{m: m, cnt: make([]int32, n*m)}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			npc.cnt[u*m+int(labels[v])]++
+		}
+	}
+	return npc
+}
+
+func (npc *neighborPartCounts) get(u graph.NodeID, p uint32) int32 {
+	return npc.cnt[int(u)*npc.m+int(p)]
+}
+
+// move updates counts after u relocates from part a to part b.
+func (npc *neighborPartCounts) move(g *graph.Graph, u graph.NodeID, a, b uint32) {
+	for _, v := range g.Neighbors(u) {
+		npc.cnt[int(v)*npc.m+int(a)]--
+		npc.cnt[int(v)*npc.m+int(b)]++
+	}
+}
+
+// constrainedSearch runs iters rounds of propose-and-match moves over a
+// caller-owned neighborPartCounts (so gain closures read live counts).
+// labels is modified in place and returned.
+func constrainedSearch(g *graph.Graph, labels []uint32, m, iters int, gain gainFunc, npc *neighborPartCounts) []uint32 {
+	n := g.NumNodes()
+	for iter := 0; iter < iters; iter++ {
+		// Propose: best positive-gain destination per node.
+		byPair := map[[2]uint32][]proposal{}
+		for u := 0; u < n; u++ {
+			from := labels[u]
+			bestGain := 0.0
+			bestTo := from
+			for p := uint32(0); int(p) < m; p++ {
+				if p == from {
+					continue
+				}
+				if gn := gain(graph.NodeID(u), from, p); gn > bestGain {
+					bestGain, bestTo = gn, p
+				}
+			}
+			if bestTo != from {
+				key := [2]uint32{from, bestTo}
+				byPair[key] = append(byPair[key], proposal{graph.NodeID(u), bestTo, bestGain})
+			}
+		}
+		if len(byPair) == 0 {
+			break
+		}
+		// Match: for each unordered part pair, move equal counterflows.
+		moved := 0
+		for i := uint32(0); int(i) < m; i++ {
+			for j := i + 1; int(j) < m; j++ {
+				fwd := byPair[[2]uint32{i, j}]
+				bwd := byPair[[2]uint32{j, i}]
+				k := len(fwd)
+				if len(bwd) < k {
+					k = len(bwd)
+				}
+				if k == 0 {
+					continue
+				}
+				sort.Slice(fwd, func(a, b int) bool { return fwd[a].gain > fwd[b].gain })
+				sort.Slice(bwd, func(a, b int) bool { return bwd[a].gain > bwd[b].gain })
+				for x := 0; x < k; x++ {
+					applyMove(g, labels, npc, fwd[x].u, i, j)
+					applyMove(g, labels, npc, bwd[x].u, j, i)
+					moved += 2
+				}
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	return labels
+}
+
+func applyMove(g *graph.Graph, labels []uint32, npc *neighborPartCounts, u graph.NodeID, from, to uint32) {
+	if labels[u] != from {
+		return // a previous swap in this round already relocated u
+	}
+	labels[u] = to
+	npc.move(g, u, from, to)
+}
+
+// BLPConfig parameterizes BLP and the SHP variants.
+type BLPConfig struct {
+	// Iterations bounds local-search rounds (default 10, §V-A).
+	Iterations int
+	// Seed drives initialization.
+	Seed int64
+}
+
+func (c BLPConfig) withDefaults() BLPConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 10
+	}
+	return c
+}
+
+// BLP partitions g into m balanced parts by balanced label propagation [41]:
+// nodes greedily chase the part holding most of their neighbors (edge-cut
+// gain), with pairwise matching keeping sizes fixed.
+func BLP(g *graph.Graph, m int, cfg BLPConfig) []uint32 {
+	cfg = cfg.withDefaults()
+	labels := RandomBalanced(g.NumNodes(), m, cfg.Seed)
+	npc := newNeighborPartCounts(g, labels, m)
+	gain := func(u graph.NodeID, from, to uint32) float64 {
+		return float64(npc.get(u, to) - npc.get(u, from))
+	}
+	return constrainedSearch(g, labels, m, cfg.Iterations, gain, npc)
+}

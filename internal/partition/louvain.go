@@ -1,0 +1,195 @@
+// Package partition implements the graph-partitioning substrate of §IV/§V-F:
+// the Louvain community-detection method [28] used by Alg. 3's preprocessing
+// step, the balanced label propagation (BLP [41]) and social hash
+// partitioner (SHP-I/II/KL [42]) baselines of Fig. 12, balanced m-way
+// splitting, and partition-quality measures.
+package partition
+
+import (
+	"math/rand"
+
+	"pegasus/internal/graph"
+)
+
+// LouvainConfig parameterizes Louvain.
+type LouvainConfig struct {
+	// MaxLevels bounds the aggregation hierarchy (default 10).
+	MaxLevels int
+	// MaxPasses bounds local-move sweeps per level (default 10, §V-A).
+	MaxPasses int
+	// Seed drives node-visit order.
+	Seed int64
+}
+
+func (c LouvainConfig) withDefaults() LouvainConfig {
+	if c.MaxLevels == 0 {
+		c.MaxLevels = 10
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 10
+	}
+	return c
+}
+
+// wgraph is a weighted multigraph used for Louvain's aggregated levels.
+type wgraph struct {
+	n   int
+	adj []map[int]float64 // neighbor -> weight (self-loops allowed)
+	deg []float64         // weighted degree incl. 2×self-loop
+	m2  float64           // total weight ×2 (sum of deg)
+}
+
+func wgraphFrom(g *graph.Graph) *wgraph {
+	n := g.NumNodes()
+	w := &wgraph{n: n, adj: make([]map[int]float64, n), deg: make([]float64, n)}
+	for u := 0; u < n; u++ {
+		ns := g.Neighbors(graph.NodeID(u))
+		w.adj[u] = make(map[int]float64, len(ns))
+		for _, v := range ns {
+			w.adj[u][int(v)] = 1
+		}
+		w.deg[u] = float64(len(ns))
+		w.m2 += float64(len(ns))
+	}
+	return w
+}
+
+// Louvain detects communities by modularity optimization [28] and returns a
+// community label per node (dense labels, count unspecified).
+func Louvain(g *graph.Graph, cfg LouvainConfig) []uint32 {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := g.NumNodes()
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	if n == 0 || g.NumEdges() == 0 {
+		return densify(labels)
+	}
+	w := wgraphFrom(g)
+	// mapping[u] = community of original node u across levels.
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = i
+	}
+
+	for level := 0; level < cfg.MaxLevels; level++ {
+		comm, moved := louvainLevel(w, cfg.MaxPasses, rng)
+		if !moved {
+			break
+		}
+		// Renumber communities densely.
+		renum := map[int]int{}
+		for _, c := range comm {
+			if _, ok := renum[c]; !ok {
+				renum[c] = len(renum)
+			}
+		}
+		for u := range mapping {
+			mapping[u] = renum[comm[mapping[u]]]
+		}
+		if len(renum) == w.n {
+			break // no aggregation progress
+		}
+		w = aggregate(w, comm, renum)
+	}
+	for u := range labels {
+		labels[u] = uint32(mapping[u])
+	}
+	return densify(labels)
+}
+
+// louvainLevel runs local moves until convergence; returns per-node
+// community and whether anything moved.
+func louvainLevel(w *wgraph, maxPasses int, rng *rand.Rand) ([]int, bool) {
+	comm := make([]int, w.n)
+	ctot := make([]float64, w.n) // Σ deg of community members
+	for u := 0; u < w.n; u++ {
+		comm[u] = u
+		ctot[u] = w.deg[u]
+	}
+	anyMoved := false
+	order := rng.Perm(w.n)
+	for pass := 0; pass < maxPasses; pass++ {
+		movedThisPass := 0
+		for _, u := range order {
+			cu := comm[u]
+			// Weights from u to each adjacent community.
+			wto := map[int]float64{}
+			for v, wt := range w.adj[u] {
+				if v == u {
+					continue
+				}
+				wto[comm[v]] += wt
+			}
+			// Remove u from its community.
+			ctot[cu] -= w.deg[u]
+			best, bestGain := cu, 0.0
+			base := wto[cu] - w.deg[u]*ctot[cu]/w.m2
+			for c, wc := range wto {
+				gain := (wc - w.deg[u]*ctot[c]/w.m2) - base
+				if gain > bestGain+1e-12 {
+					best, bestGain = c, gain
+				}
+			}
+			comm[u] = best
+			ctot[best] += w.deg[u]
+			if best != cu {
+				movedThisPass++
+				anyMoved = true
+			}
+		}
+		if movedThisPass == 0 {
+			break
+		}
+	}
+	return comm, anyMoved
+}
+
+// aggregate collapses communities into nodes of the next-level graph.
+// Convention: the self entry adj[c][c] stores the *degree contribution* of
+// internal edges (2× their weight), so weighted degree is a plain row sum.
+// Cross edges are visited from both endpoints, filling both directed
+// entries; internal edges are visited twice and accumulate 2× into the self
+// entry, preserving the convention.
+func aggregate(w *wgraph, comm []int, renum map[int]int) *wgraph {
+	n2 := len(renum)
+	out := &wgraph{n: n2, adj: make([]map[int]float64, n2), deg: make([]float64, n2)}
+	for i := 0; i < n2; i++ {
+		out.adj[i] = map[int]float64{}
+	}
+	for u := 0; u < w.n; u++ {
+		cu := renum[comm[u]]
+		for v, wt := range w.adj[u] {
+			if v == u {
+				out.adj[cu][cu] += wt // already in 2× convention
+			} else {
+				out.adj[cu][renum[comm[v]]] += wt
+			}
+		}
+	}
+	for u := 0; u < n2; u++ {
+		d := 0.0
+		for _, wt := range out.adj[u] {
+			d += wt
+		}
+		out.deg[u] = d
+		out.m2 += d
+	}
+	return out
+}
+
+// densify renumbers arbitrary labels to 0..k-1 in first-appearance order.
+func densify(labels []uint32) []uint32 {
+	m := map[uint32]uint32{}
+	for i, l := range labels {
+		d, ok := m[l]
+		if !ok {
+			d = uint32(len(m))
+			m[l] = d
+		}
+		labels[i] = d
+	}
+	return labels
+}

@@ -1,0 +1,167 @@
+package partition
+
+import (
+	"testing"
+
+	"pegasus/internal/gen"
+	"pegasus/internal/graph"
+)
+
+func communityGraph(seed int64) *graph.Graph {
+	return gen.PlantedPartition(gen.SBMConfig{
+		Nodes: 400, Communities: 8, AvgDegree: 16, MixingP: 0.05,
+	}, seed)
+}
+
+func TestLouvainRecoversCommunities(t *testing.T) {
+	g := communityGraph(1)
+	labels := Louvain(g, LouvainConfig{Seed: 2})
+	k := PartCount(labels)
+	if k < 2 || k > 40 {
+		t.Fatalf("Louvain found %d communities, want a handful (planted 8)", k)
+	}
+	// Cut quality: massively below random.
+	cut := EdgeCut(g, labels)
+	randCut := EdgeCut(g, RandomBalanced(g.NumNodes(), k, 3))
+	if cut*2 >= randCut {
+		t.Fatalf("Louvain cut %d not well below random cut %d", cut, randCut)
+	}
+}
+
+func TestLouvainEdgeCases(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	if got := Louvain(empty, LouvainConfig{}); len(got) != 0 {
+		t.Fatal("empty graph should give empty labels")
+	}
+	noEdges := graph.NewBuilder(5).Build()
+	labels := Louvain(noEdges, LouvainConfig{})
+	if len(labels) != 5 {
+		t.Fatal("isolated nodes must all be labeled")
+	}
+}
+
+func TestBalancedFromCommunities(t *testing.T) {
+	// 3 communities of sizes 6, 3, 3 into m=2 -> sizes {6,6}.
+	labels := []uint32{0, 0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 2}
+	out := BalancedFromCommunities(labels, 2, 1)
+	if got := PartCount(out); got != 2 {
+		t.Fatalf("parts = %d, want 2", got)
+	}
+	if im := Imbalance(out, 2); im > 1.01 {
+		t.Fatalf("imbalance = %v, want ~1", im)
+	}
+	// Oversized community split across parts.
+	big := make([]uint32, 100) // all one community
+	out2 := BalancedFromCommunities(big, 4, 1)
+	if im := Imbalance(out2, 4); im > 1.1 {
+		t.Fatalf("imbalance after split = %v, want ~1", im)
+	}
+}
+
+func TestRandomBalanced(t *testing.T) {
+	labels := RandomBalanced(103, 8, 7)
+	if im := Imbalance(labels, 8); im > 1.08 {
+		t.Fatalf("imbalance = %v, want sizes within one", im)
+	}
+	if PartCount(labels) != 8 {
+		t.Fatal("expected all 8 parts in use")
+	}
+}
+
+func TestBLPImprovesCut(t *testing.T) {
+	g := communityGraph(4)
+	m := 8
+	initial := RandomBalanced(g.NumNodes(), m, 5)
+	initCut := EdgeCut(g, initial)
+	labels := BLP(g, m, BLPConfig{Seed: 5})
+	cut := EdgeCut(g, labels)
+	if cut >= initCut {
+		t.Fatalf("BLP cut %d did not improve on random %d", cut, initCut)
+	}
+	if im := Imbalance(labels, m); im > 1.05 {
+		t.Fatalf("BLP broke balance: %v", im)
+	}
+}
+
+func TestSHPVariantsImproveFanout(t *testing.T) {
+	g := communityGraph(6)
+	m := 8
+	base := AvgFanout(g, RandomBalanced(g.NumNodes(), m, 7), m)
+	for _, mth := range []struct {
+		name string
+		fn   func(*graph.Graph, int, BLPConfig) []uint32
+	}{
+		{"SHPI", SHPI}, {"SHPII", SHPII}, {"SHPKL", SHPKL},
+	} {
+		labels := mth.fn(g, m, BLPConfig{Seed: 7})
+		fo := AvgFanout(g, labels, m)
+		if fo >= base {
+			t.Errorf("%s fanout %v did not improve on random %v", mth.name, fo, base)
+		}
+		if im := Imbalance(labels, m); im > 1.05 {
+			t.Errorf("%s broke balance: %v", mth.name, im)
+		}
+	}
+}
+
+func TestPartitionDispatch(t *testing.T) {
+	g := communityGraph(8)
+	for _, mth := range append(Methods, MethodRandom, Method("unknown")) {
+		labels := Partition(g, 8, mth, 9)
+		if len(labels) != g.NumNodes() {
+			t.Fatalf("%s: wrong label count", mth)
+		}
+		if im := Imbalance(labels, 8); im > 1.15 {
+			t.Errorf("%s: imbalance %v too high", mth, im)
+		}
+		for _, l := range labels {
+			if l >= 8 {
+				t.Fatalf("%s: label %d out of range", mth, l)
+			}
+		}
+	}
+}
+
+func TestQualityMeasures(t *testing.T) {
+	// Path 0-1-2 with labels {0,0,1}: cut=1.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	labels := []uint32{0, 0, 1}
+	if got := EdgeCut(g, labels); got != 1 {
+		t.Fatalf("EdgeCut = %d, want 1", got)
+	}
+	// Fanout: node0 -> {0}:1 part; node1 -> {0,1}: 2 parts; node2 -> {0}: 1.
+	want := (1.0 + 2.0 + 1.0) / 3
+	if got := AvgFanout(g, labels, 2); got != want {
+		t.Fatalf("AvgFanout = %v, want %v", got, want)
+	}
+	if got := Imbalance(labels, 2); got != 2.0/1.5 {
+		t.Fatalf("Imbalance = %v, want %v", got, 2.0/1.5)
+	}
+	if PartCount(labels) != 2 {
+		t.Fatal("PartCount wrong")
+	}
+}
+
+func TestEdgesNeverIncreaseFanoutInvariant(t *testing.T) {
+	// The npc counters must stay consistent with labels after moves.
+	g := communityGraph(10)
+	m := 4
+	labels := RandomBalanced(g.NumNodes(), m, 11)
+	npc := newNeighborPartCounts(g, labels, m)
+	// Perform a few manual moves and re-verify counts from scratch.
+	for u := graph.NodeID(0); u < 40; u++ {
+		from := labels[u]
+		to := (from + 1) % uint32(m)
+		labels[u] = to
+		npc.move(g, u, from, to)
+	}
+	fresh := newNeighborPartCounts(g, labels, m)
+	for i := range fresh.cnt {
+		if fresh.cnt[i] != npc.cnt[i] {
+			t.Fatal("incremental npc deviates from recomputation")
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+
+	"pegasus/internal/graph"
+)
+
+// Appendix A of the paper argues that a wide range of graph algorithms
+// access graphs only through the neighborhood query and therefore run
+// directly on summary graphs: §I names node degrees, clustering
+// coefficients, eigenvector centrality, hop counts and random walks. This
+// file provides those algorithms over the Oracle abstraction, so each works
+// identically on an exact graph and on a summary.
+
+// Degrees returns every node's (weighted) degree through neighborhood
+// queries only.
+func Degrees(o Oracle) []float64 {
+	n := o.NumNodes()
+	out := make([]float64, n)
+	for u := 0; u < n; u++ {
+		o.ForEachNeighbor(graph.NodeID(u), func(_ graph.NodeID, w float64) {
+			out[u] += w
+		})
+	}
+	return out
+}
+
+// ClusteringCoefficient returns the local clustering coefficient of u: the
+// fraction of u's neighbor pairs that are themselves adjacent. Edge weights
+// are ignored (presence only).
+func ClusteringCoefficient(o Oracle, u graph.NodeID) float64 {
+	var ns []graph.NodeID
+	o.ForEachNeighbor(u, func(v graph.NodeID, _ float64) { ns = append(ns, v) })
+	if len(ns) < 2 {
+		return 0
+	}
+	inN := make(map[graph.NodeID]bool, len(ns))
+	for _, v := range ns {
+		inN[v] = true
+	}
+	links := 0
+	for _, v := range ns {
+		o.ForEachNeighbor(v, func(w graph.NodeID, _ float64) {
+			if w > v && inN[w] {
+				links++
+			}
+		})
+	}
+	pairs := len(ns) * (len(ns) - 1) / 2
+	return float64(links) / float64(pairs)
+}
+
+// PageRankConfig parameterizes PageRank.
+type PageRankConfig struct {
+	// Damping is the continuation probability (default 0.85).
+	Damping float64
+	// Eps is the L1 convergence tolerance (default 1e-9).
+	Eps float64
+	// MaxIter caps power iterations (default 200).
+	MaxIter int
+}
+
+func (c PageRankConfig) withDefaults() PageRankConfig {
+	if c.Damping == 0 {
+		c.Damping = 0.85
+	}
+	if c.Eps == 0 {
+		c.Eps = 1e-9
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 200
+	}
+	return c
+}
+
+// PageRank computes the PageRank vector over any Oracle (teleport uniform;
+// dead-end mass redistributed uniformly).
+func PageRank(o Oracle, cfg PageRankConfig) []float64 {
+	cfg = cfg.withDefaults()
+	n := o.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	wdeg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		o.ForEachNeighbor(graph.NodeID(u), func(_ graph.NodeID, w float64) {
+			wdeg[u] += w
+		})
+	}
+	r := make([]float64, n)
+	next := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		dead := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			if wdeg[u] == 0 {
+				dead += r[u]
+				continue
+			}
+			share := r[u] / wdeg[u]
+			o.ForEachNeighbor(graph.NodeID(u), func(v graph.NodeID, w float64) {
+				next[v] += share * w
+			})
+		}
+		base := (1-cfg.Damping)/float64(n) + cfg.Damping*dead/float64(n)
+		delta := 0.0
+		for i := range next {
+			next[i] = cfg.Damping*next[i] + base
+			d := next[i] - r[i]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		r, next = next, r
+		if delta < cfg.Eps {
+			break
+		}
+	}
+	return r
+}
+
+// EigenvectorCentrality computes the principal-eigenvector centrality by
+// power iteration with L2 normalization. Iteration runs on A + I (shifted
+// power iteration), which has the same eigenvectors but converges on
+// bipartite graphs where plain iteration would oscillate.
+func EigenvectorCentrality(o Oracle, maxIter int, eps float64) []float64 {
+	n := o.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	if maxIter == 0 {
+		maxIter = 200
+	}
+	if eps == 0 {
+		eps = 1e-9
+	}
+	r := make([]float64, n)
+	next := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / math.Sqrt(float64(n))
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		copy(next, r) // the +I shift
+		for u := 0; u < n; u++ {
+			if r[u] == 0 {
+				continue
+			}
+			o.ForEachNeighbor(graph.NodeID(u), func(v graph.NodeID, w float64) {
+				next[v] += w * r[u]
+			})
+		}
+		norm := 0.0
+		for _, x := range next {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return next
+		}
+		delta := 0.0
+		for i := range next {
+			next[i] /= norm
+			d := next[i] - r[i]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		r, next = next, r
+		if delta < eps {
+			break
+		}
+	}
+	return r
+}
+
+// DFSOrder returns nodes in depth-first preorder from src (restricted to
+// src's component), demonstrating traversals over the Oracle.
+func DFSOrder(o Oracle, src graph.NodeID) []graph.NodeID {
+	n := o.NumNodes()
+	seen := make([]bool, n)
+	var order []graph.NodeID
+	stack := []graph.NodeID{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		order = append(order, u)
+		// Push neighbors in reverse discovery order for a stable preorder.
+		var ns []graph.NodeID
+		o.ForEachNeighbor(u, func(v graph.NodeID, _ float64) {
+			if !seen[v] {
+				ns = append(ns, v)
+			}
+		})
+		for i := len(ns) - 1; i >= 0; i-- {
+			stack = append(stack, ns[i])
+		}
+	}
+	return order
+}
+
+// Dijkstra computes weighted shortest-path distances from src, treating
+// each neighbor weight w as a traversal cost of 1/w (heavier superedges are
+// "denser", hence cheaper to cross); on unweighted graphs it reduces to BFS
+// distances. Unreachable nodes get +Inf.
+func Dijkstra(o Oracle, src graph.NodeID) ([]float64, error) {
+	n := o.NumNodes()
+	if int(src) >= n {
+		return nil, fmt.Errorf("queries: source %d out of range (|V|=%d)", src, n)
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &distHeap{}
+	h.push(item{src, 0})
+	for h.len() > 0 {
+		it := h.pop()
+		if it.d > dist[it.u] {
+			continue
+		}
+		o.ForEachNeighbor(it.u, func(v graph.NodeID, w float64) {
+			cost := 1.0
+			if w > 0 {
+				cost = 1 / w
+			}
+			if nd := it.d + cost; nd < dist[v] {
+				dist[v] = nd
+				h.push(item{v, nd})
+			}
+		})
+	}
+	return dist, nil
+}
+
+type item struct {
+	u graph.NodeID
+	d float64
+}
+
+// distHeap is a minimal binary min-heap on distance.
+type distHeap struct{ xs []item }
+
+func (h *distHeap) len() int { return len(h.xs) }
+
+func (h *distHeap) push(it item) {
+	h.xs = append(h.xs, it)
+	i := len(h.xs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.xs[p].d <= h.xs[i].d {
+			break
+		}
+		h.xs[p], h.xs[i] = h.xs[i], h.xs[p]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() item {
+	top := h.xs[0]
+	last := len(h.xs) - 1
+	h.xs[0] = h.xs[last]
+	h.xs = h.xs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.xs) && h.xs[l].d < h.xs[small].d {
+			small = l
+		}
+		if r < len(h.xs) && h.xs[r].d < h.xs[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.xs[i], h.xs[small] = h.xs[small], h.xs[i]
+		i = small
+	}
+	return top
+}

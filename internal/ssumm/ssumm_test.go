@@ -1,0 +1,63 @@
+package ssumm
+
+import (
+	"testing"
+
+	"pegasus/internal/core"
+	"pegasus/internal/gen"
+	"pegasus/internal/metrics"
+)
+
+func TestSummarizeMeetsBudget(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 1)
+	for _, ratio := range []float64{0.3, 0.6} {
+		res, err := Summarize(g, Config{BudgetRatio: ratio, Seed: 2})
+		if err != nil {
+			t.Fatalf("ratio %v: %v", ratio, err)
+		}
+		if err := res.Summary.Validate(); err != nil {
+			t.Fatalf("ratio %v: %v", ratio, err)
+		}
+		if res.Summary.SizeBits() > ratio*g.SizeBits()+1e-6 {
+			t.Errorf("ratio %v: budget exceeded", ratio)
+		}
+	}
+}
+
+func TestFixedScheduleIsUsed(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 3)
+	var thetas []float64
+	_, err := Summarize(g, Config{BudgetRatio: 0.2, Seed: 4, Trace: func(s core.IterStats) {
+		thetas = append(thetas, s.Theta)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thetas) < 2 {
+		t.Skip("budget met too fast to observe the schedule")
+	}
+	// θ(t) = 1/(1+t): 0.5, 1/3, 1/4, ...
+	want := []float64{0.5, 1.0 / 3, 0.25, 0.2}
+	for i := 0; i < len(thetas) && i < len(want); i++ {
+		if diff := thetas[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("theta[%d] = %v, want %v", i, thetas[i], want[i])
+		}
+	}
+}
+
+func TestErrorShrinksWithBudget(t *testing.T) {
+	g := gen.BarabasiAlbert(250, 3, 5)
+	loose, err := Summarize(g, Config{BudgetRatio: 0.8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Summarize(g, Config{BudgetRatio: 0.2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eLoose := metrics.ReconstructionError(g, loose.Summary)
+	eTight := metrics.ReconstructionError(g, tight.Summary)
+	if eLoose > eTight {
+		t.Fatalf("loose budget error %v exceeds tight budget error %v", eLoose, eTight)
+	}
+}

@@ -1,0 +1,113 @@
+package summary
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+var summaryMagic = [4]byte{'P', 'G', 'S', 'S'}
+
+// Write serializes the summary in a compact little-endian binary format:
+// magic, |V|, |S|, |P|, the node→supernode array, then |P| superedge records
+// (a, b, weight). This is the on-disk artifact loaded into each machine's
+// memory in the distributed application (§IV).
+func (s *Summary) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(summaryMagic[:]); err != nil {
+		return err
+	}
+	hdr := [3]uint64{uint64(s.NumNodes()), uint64(s.NumSupernodes()), uint64(s.numP)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, s.superOf); err != nil {
+		return err
+	}
+	for a := range s.nbr {
+		for i, b := range s.nbr[a] {
+			if b < uint32(a) {
+				continue
+			}
+			rec := struct {
+				A, B uint32
+				W    float64
+			}{uint32(a), b, s.wts[a][i]}
+			if err := binary.Write(bw, binary.LittleEndian, &rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a summary written by Write.
+func Read(r io.Reader) (*Summary, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != summaryMagic {
+		return nil, fmt.Errorf("summary: bad magic %q", magic)
+	}
+	var hdr [3]uint64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, err
+	}
+	n, ns, np := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	superOf := make([]uint32, n)
+	if err := binary.Read(br, binary.LittleEndian, superOf); err != nil {
+		return nil, err
+	}
+	present := make([]bool, ns)
+	for _, a := range superOf {
+		if int(a) >= ns {
+			return nil, fmt.Errorf("summary: supernode %d out of range", a)
+		}
+		present[a] = true
+	}
+	b := NewBuilder(superOf)
+	for i := 0; i < np; i++ {
+		var rec struct {
+			A, B uint32
+			W    float64
+		}
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, err
+		}
+		if int(rec.A) >= ns || int(rec.B) >= ns || !present[rec.A] || !present[rec.B] {
+			return nil, fmt.Errorf("summary: superedge endpoint out of range")
+		}
+		if rec.W <= 0 {
+			return nil, fmt.Errorf("summary: non-positive weight")
+		}
+		b.AddSuperedge(rec.A, rec.B, rec.W)
+	}
+	return b.Build(), nil
+}
+
+// SaveFile writes the summary to path.
+func (s *Summary) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a summary from path.
+func LoadFile(path string) (*Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

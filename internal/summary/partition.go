@@ -1,0 +1,40 @@
+package summary
+
+import "pegasus/internal/graph"
+
+// FromPartitionDensity builds the density-weighted summary induced by a node
+// partition: for every supernode pair (including self pairs) connected by at
+// least one edge, a superedge is added whose weight is the edge density of
+// the block (edges present / possible pairs). This is the output form of the
+// k-GraSS, S2L and SAAGs baselines, which "add superedges without selection"
+// (§V-D) — hence their dense summaries.
+func FromPartitionDensity(g *graph.Graph, superOf []uint32) *Summary {
+	b := NewBuilder(superOf)
+	sizes := make(map[uint32]float64)
+	for _, s := range superOf {
+		sizes[s]++
+	}
+	counts := make(map[[2]uint32]float64)
+	g.Edges(func(u, v graph.NodeID) bool {
+		a, c := superOf[u], superOf[v]
+		if a > c {
+			a, c = c, a
+		}
+		counts[[2]uint32{a, c}]++
+		return true
+	})
+	for blk, e := range counts {
+		a, c := blk[0], blk[1]
+		var pairs float64
+		if a == c {
+			pairs = sizes[a] * (sizes[a] - 1) / 2
+		} else {
+			pairs = sizes[a] * sizes[c]
+		}
+		if pairs <= 0 {
+			continue
+		}
+		b.AddSuperedge(a, c, e/pairs)
+	}
+	return b.Build()
+}

@@ -1,0 +1,83 @@
+package summary
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+
+	"pegasus/internal/graph"
+)
+
+func TestFromPartitionDensity(t *testing.T) {
+	// K_{2,2} between supernodes {0,1} and {2,3}: density 1; plus one intra
+	// edge {0,1}: density 1 over C(2,2)=1.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	s := FromPartitionDensity(g, []uint32{7, 7, 9, 9})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSupernodes() != 2 || s.NumSuperedges() != 2 {
+		t.Fatalf("summary shape: %v", s)
+	}
+	a := s.Supernode(0)
+	c := s.Supernode(2)
+	w, ok := s.HasSuperedge(a, c)
+	if !ok || math.Abs(w-1) > 1e-12 {
+		t.Fatalf("cross density = %v, want 1", w)
+	}
+	wSelf, ok := s.HasSuperedge(a, a)
+	if !ok || math.Abs(wSelf-1) > 1e-12 {
+		t.Fatalf("self density = %v, want 1", wSelf)
+	}
+	// Partial block: one edge of four possible.
+	b2 := graph.NewBuilder(4)
+	b2.AddEdge(0, 2)
+	g2 := b2.Build()
+	s2 := FromPartitionDensity(g2, []uint32{0, 0, 1, 1})
+	w2, ok := s2.HasSuperedge(s2.Supernode(0), s2.Supernode(2))
+	if !ok || math.Abs(w2-0.25) > 1e-12 {
+		t.Fatalf("partial density = %v, want 0.25", w2)
+	}
+}
+
+func TestPropertyFromPartitionDensityValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		labels := make([]uint32, g.NumNodes())
+		k := 1 + rng.Intn(8)
+		for u := range labels {
+			labels[u] = uint32(rng.Intn(k))
+		}
+		s := FromPartitionDensity(g, labels)
+		if s.Validate() != nil {
+			return false
+		}
+		// Densities always in (0, 1].
+		ok := true
+		for a := 0; a < s.NumSupernodes(); a++ {
+			s.ForEachSuperNeighbor(uint32(a), func(_ uint32, w float64) {
+				if w <= 0 || w > 1+1e-12 {
+					ok = false
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pegasus/internal/graph"
+)
+
+// Report summarizes the structure of a summary graph — one of the paper's
+// selling points for graph summarization is "the interpretability of its
+// output" (§I): supernodes are readable groups, superedges readable
+// block-level relations.
+type Report struct {
+	Nodes          int
+	Supernodes     int
+	Superedges     int
+	SelfLoops      int
+	Singletons     int     // supernodes with exactly one member
+	MaxSupernode   int     // largest member count
+	AvgSupernode   float64 // mean member count
+	MedSupernode   float64
+	SizeBits       float64
+	Weighted       bool
+	AvgSuperDegree float64 // mean superedges per supernode
+}
+
+// Describe computes the report.
+func (s *Summary) Describe() Report {
+	r := Report{
+		Nodes:      s.NumNodes(),
+		Supernodes: s.NumSupernodes(),
+		Superedges: s.NumSuperedges(),
+		SizeBits:   s.AutoSizeBits(),
+		Weighted:   s.Weighted(),
+	}
+	sizes := make([]int, r.Supernodes)
+	for a := 0; a < r.Supernodes; a++ {
+		sizes[a] = len(s.Members(uint32(a)))
+		if sizes[a] == 1 {
+			r.Singletons++
+		}
+		if sizes[a] > r.MaxSupernode {
+			r.MaxSupernode = sizes[a]
+		}
+		if _, ok := s.HasSuperedge(uint32(a), uint32(a)); ok {
+			r.SelfLoops++
+		}
+		r.AvgSuperDegree += float64(s.SuperDegree(uint32(a)))
+	}
+	if r.Supernodes > 0 {
+		r.AvgSupernode = float64(r.Nodes) / float64(r.Supernodes)
+		r.AvgSuperDegree /= float64(r.Supernodes)
+		sort.Ints(sizes)
+		if r.Supernodes%2 == 1 {
+			r.MedSupernode = float64(sizes[r.Supernodes/2])
+		} else {
+			r.MedSupernode = float64(sizes[r.Supernodes/2-1]+sizes[r.Supernodes/2]) / 2
+		}
+	}
+	return r
+}
+
+// String renders the report for terminals.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "summary: %d nodes in %d supernodes, %d superedges (%d self-loops)\n",
+		r.Nodes, r.Supernodes, r.Superedges, r.SelfLoops)
+	fmt.Fprintf(&b, "  supernode sizes: avg %.2f, median %.0f, max %d; %d singletons\n",
+		r.AvgSupernode, r.MedSupernode, r.MaxSupernode, r.Singletons)
+	fmt.Fprintf(&b, "  super-degree: avg %.2f; size: %.0f bits; weighted: %v\n",
+		r.AvgSuperDegree, r.SizeBits, r.Weighted)
+	return b.String()
+}
+
+// LargestSupernodes returns the k largest supernodes (ID and members),
+// largest first — the most aggressively grouped regions, typically the ones
+// far from the target nodes in a personalized summary.
+func (s *Summary) LargestSupernodes(k int) [][]graph.NodeID {
+	ids := make([]uint32, s.NumSupernodes())
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		li, lj := len(s.Members(ids[i])), len(s.Members(ids[j]))
+		if li != lj {
+			return li > lj
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	out := make([][]graph.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = s.Members(ids[i])
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package summary
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	s := fixture() // A={0,1}, B={2,3}, C={4}; P={A-B, A-A, B-C}
+	r := s.Describe()
+	if r.Nodes != 5 || r.Supernodes != 3 || r.Superedges != 3 {
+		t.Fatalf("report shape wrong: %+v", r)
+	}
+	if r.SelfLoops != 1 {
+		t.Fatalf("self-loops = %d, want 1", r.SelfLoops)
+	}
+	if r.Singletons != 1 {
+		t.Fatalf("singletons = %d, want 1", r.Singletons)
+	}
+	if r.MaxSupernode != 2 || r.MedSupernode != 2 {
+		t.Fatalf("sizes wrong: %+v", r)
+	}
+	// Super-degrees: A has {B, A} = 2; B has {A, C} = 2; C has {B} = 1.
+	want := (2.0 + 2.0 + 1.0) / 3
+	if r.AvgSuperDegree != want {
+		t.Fatalf("avg super degree = %v, want %v", r.AvgSuperDegree, want)
+	}
+	out := r.String()
+	if !strings.Contains(out, "3 supernodes") || !strings.Contains(out, "1 singletons") {
+		t.Fatalf("rendered report missing fields:\n%s", out)
+	}
+}
+
+func TestLargestSupernodes(t *testing.T) {
+	s := fixture()
+	top := s.LargestSupernodes(2)
+	if len(top) != 2 {
+		t.Fatalf("got %d supernodes, want 2", len(top))
+	}
+	if len(top[0]) != 2 || len(top[1]) != 2 {
+		t.Fatalf("sizes = %d,%d, want 2,2", len(top[0]), len(top[1]))
+	}
+	all := s.LargestSupernodes(99)
+	if len(all) != 3 {
+		t.Fatalf("oversized k: got %d, want 3", len(all))
+	}
+	if len(all[2]) != 1 {
+		t.Fatal("smallest supernode should come last")
+	}
+}

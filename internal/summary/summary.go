@@ -1,0 +1,313 @@
+// Package summary defines the summary-graph artifact produced by all
+// summarization methods in this library: a partition of the input nodes into
+// supernodes plus a set of (optionally weighted) superedges, including
+// self-loops (§II-A).
+//
+// A summary graph supports direct approximate query answering: Alg. 4 of the
+// paper retrieves the approximate neighborhood of a node without
+// reconstructing the full graph, and packages queries/metrics build RWR, HOP
+// and PHP answering plus error measures on top of the accessors exposed
+// here.
+//
+// PeGaSus and SSumM emit unweighted summaries (every superedge weight 1);
+// the k-GraSS/S2L/SAAGs baselines emit density-weighted summaries, whose
+// size is accounted by WeightedSizeBits (§V-A).
+package summary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pegasus/internal/graph"
+)
+
+// Summary is an immutable summary graph G=(S,P) over a graph with NumNodes
+// nodes. Supernode IDs are dense: 0..NumSupernodes-1.
+type Summary struct {
+	superOf  []uint32         // node -> supernode
+	members  [][]graph.NodeID // supernode -> sorted member nodes
+	nbr      [][]uint32       // supernode -> sorted superedge neighbors (may include self)
+	wts      [][]float64      // parallel to nbr
+	numP     int              // |P| (self-loops count once)
+	maxW     float64          // max superedge weight (>= 1 when |P|>0)
+	weighted bool             // true when any weight differs from 1
+}
+
+// Builder assembles a Summary. Supernode labels passed to the builder may be
+// arbitrary uint32 values; they are remapped to dense IDs.
+type Builder struct {
+	n       int
+	superOf []uint32 // original labels
+	dense   map[uint32]uint32
+	edges   map[[2]uint32]float64
+}
+
+// NewBuilder starts a summary over len(superOf) nodes, where superOf[u] is
+// the (arbitrary) supernode label of node u.
+func NewBuilder(superOf []uint32) *Builder {
+	b := &Builder{
+		n:       len(superOf),
+		superOf: superOf,
+		dense:   make(map[uint32]uint32),
+		edges:   make(map[[2]uint32]float64),
+	}
+	for _, s := range superOf {
+		if _, ok := b.dense[s]; !ok {
+			b.dense[s] = uint32(len(b.dense))
+		}
+	}
+	return b
+}
+
+// DenseID returns the dense supernode ID for an original label. It panics on
+// an unknown label (one that no node maps to).
+func (b *Builder) DenseID(label uint32) uint32 {
+	id, ok := b.dense[label]
+	if !ok {
+		panic(fmt.Sprintf("summary: unknown supernode label %d", label))
+	}
+	return id
+}
+
+// AddSuperedge records a superedge between the supernodes labeled la and lb
+// (la may equal lb: a self-loop) with the given weight. Re-adding an edge
+// overwrites its weight. Weights must be positive.
+func (b *Builder) AddSuperedge(la, lb uint32, weight float64) {
+	if weight <= 0 {
+		panic(fmt.Sprintf("summary: non-positive superedge weight %v", weight))
+	}
+	a, c := b.DenseID(la), b.DenseID(lb)
+	if a > c {
+		a, c = c, a
+	}
+	b.edges[[2]uint32{a, c}] = weight
+}
+
+// Build finalizes the summary.
+func (b *Builder) Build() *Summary {
+	s := &Summary{
+		superOf: make([]uint32, b.n),
+		members: make([][]graph.NodeID, len(b.dense)),
+		nbr:     make([][]uint32, len(b.dense)),
+		wts:     make([][]float64, len(b.dense)),
+		numP:    len(b.edges),
+		maxW:    0,
+	}
+	for u, label := range b.superOf {
+		d := b.dense[label]
+		s.superOf[u] = d
+		s.members[d] = append(s.members[d], graph.NodeID(u))
+	}
+	for _, m := range s.members {
+		sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
+	}
+	for e, w := range b.edges {
+		a, c := e[0], e[1]
+		s.nbr[a] = append(s.nbr[a], c)
+		s.wts[a] = append(s.wts[a], w)
+		if a != c {
+			s.nbr[c] = append(s.nbr[c], a)
+			s.wts[c] = append(s.wts[c], w)
+		}
+		if w > s.maxW {
+			s.maxW = w
+		}
+		if w != 1 {
+			s.weighted = true
+		}
+	}
+	for a := range s.nbr {
+		sortParallel(s.nbr[a], s.wts[a])
+	}
+	return s
+}
+
+func sortParallel(nbr []uint32, wts []float64) {
+	idx := make([]int, len(nbr))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return nbr[idx[i]] < nbr[idx[j]] })
+	n2 := make([]uint32, len(nbr))
+	w2 := make([]float64, len(wts))
+	for i, j := range idx {
+		n2[i], w2[i] = nbr[j], wts[j]
+	}
+	copy(nbr, n2)
+	copy(wts, w2)
+}
+
+// Identity returns the summary where every node is its own supernode and
+// every edge its own superedge — the initialization of Alg. 1 (line 1).
+// Queries answered on it are exact.
+func Identity(g *graph.Graph) *Summary {
+	superOf := make([]uint32, g.NumNodes())
+	for u := range superOf {
+		superOf[u] = uint32(u)
+	}
+	b := NewBuilder(superOf)
+	g.Edges(func(u, v graph.NodeID) bool {
+		b.AddSuperedge(uint32(u), uint32(v), 1)
+		return true
+	})
+	return b.Build()
+}
+
+// NumNodes returns |V| of the underlying graph.
+func (s *Summary) NumNodes() int { return len(s.superOf) }
+
+// NumSupernodes returns |S|.
+func (s *Summary) NumSupernodes() int { return len(s.members) }
+
+// NumSuperedges returns |P| (self-loops counted once).
+func (s *Summary) NumSuperedges() int { return s.numP }
+
+// Weighted reports whether any superedge weight differs from 1.
+func (s *Summary) Weighted() bool { return s.weighted }
+
+// MaxWeight returns the maximum superedge weight (0 when |P| = 0).
+func (s *Summary) MaxWeight() float64 { return s.maxW }
+
+// Supernode returns the supernode ID containing node u.
+func (s *Summary) Supernode(u graph.NodeID) uint32 { return s.superOf[u] }
+
+// Members returns the sorted member nodes of supernode a. The slice aliases
+// internal storage and must not be modified.
+func (s *Summary) Members(a uint32) []graph.NodeID { return s.members[a] }
+
+// ForEachSuperNeighbor calls fn for every superedge incident to a, including
+// the self-loop {a,a} if present.
+func (s *Summary) ForEachSuperNeighbor(a uint32, fn func(b uint32, w float64)) {
+	for i, b := range s.nbr[a] {
+		fn(b, s.wts[a][i])
+	}
+}
+
+// SuperDegree returns the number of superedges incident to a (self-loop
+// counts once).
+func (s *Summary) SuperDegree(a uint32) int { return len(s.nbr[a]) }
+
+// HasSuperedge reports whether {a,b} ∈ P and returns its weight.
+func (s *Summary) HasSuperedge(a, b uint32) (float64, bool) {
+	ns := s.nbr[a]
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ns) && ns[lo] == b {
+		return s.wts[a][lo], true
+	}
+	return 0, false
+}
+
+// SizeBits returns the size of the summary in bits per Eq. (3):
+// 2|P|·log2|S| + |V|·log2|S|. For weighted summaries use WeightedSizeBits.
+func (s *Summary) SizeBits() float64 {
+	k := float64(s.NumSupernodes())
+	if k <= 1 {
+		// log2(1)=0; a single supernode costs nothing to address but the
+		// convention below keeps sizes monotone in |P|.
+		k = 2
+	}
+	return (2*float64(s.numP) + float64(s.NumNodes())) * math.Log2(k)
+}
+
+// WeightedSizeBits returns the size in bits of a weighted summary graph per
+// §V-A: |P|·(2·log2|S| + log2(ω_max)) + |V|·log2|S|.
+func (s *Summary) WeightedSizeBits() float64 {
+	k := float64(s.NumSupernodes())
+	if k <= 1 {
+		k = 2
+	}
+	wBits := 0.0
+	if s.maxW > 1 {
+		wBits = math.Log2(s.maxW)
+	}
+	return float64(s.numP)*(2*math.Log2(k)+wBits) + float64(s.NumNodes())*math.Log2(k)
+}
+
+// AutoSizeBits dispatches to WeightedSizeBits for weighted summaries and
+// SizeBits otherwise.
+func (s *Summary) AutoSizeBits() float64 {
+	if s.weighted {
+		return s.WeightedSizeBits()
+	}
+	return s.SizeBits()
+}
+
+// CompressionRatio returns AutoSizeBits / Size(G) for the given input graph.
+func (s *Summary) CompressionRatio(g *graph.Graph) float64 {
+	gs := g.SizeBits()
+	if gs == 0 {
+		return 0
+	}
+	return s.AutoSizeBits() / gs
+}
+
+// String implements fmt.Stringer.
+func (s *Summary) String() string {
+	return fmt.Sprintf("summary{|V|=%d |S|=%d |P|=%d}", s.NumNodes(), s.NumSupernodes(), s.NumSuperedges())
+}
+
+// Validate checks structural invariants: the supernode map matches member
+// lists (a partition of V), superedge lists are sorted and symmetric, and
+// weights are positive. Intended for tests.
+func (s *Summary) Validate() error {
+	seen := make([]bool, s.NumNodes())
+	for a, ms := range s.members {
+		if len(ms) == 0 {
+			return fmt.Errorf("summary: empty supernode %d", a)
+		}
+		for i, u := range ms {
+			if i > 0 && ms[i-1] >= u {
+				return fmt.Errorf("summary: members of %d not sorted", a)
+			}
+			if s.superOf[u] != uint32(a) {
+				return fmt.Errorf("summary: node %d in members of %d but superOf=%d", u, a, s.superOf[u])
+			}
+			if seen[u] {
+				return fmt.Errorf("summary: node %d appears in two supernodes", u)
+			}
+			seen[u] = true
+		}
+	}
+	for u, ok := range seen {
+		if !ok {
+			return fmt.Errorf("summary: node %d in no supernode", u)
+		}
+	}
+	count := 0
+	for a := range s.nbr {
+		if len(s.nbr[a]) != len(s.wts[a]) {
+			return fmt.Errorf("summary: nbr/wts length mismatch at %d", a)
+		}
+		for i, b := range s.nbr[a] {
+			if i > 0 && s.nbr[a][i-1] >= b {
+				return fmt.Errorf("summary: superneighbors of %d not sorted", a)
+			}
+			if int(b) >= s.NumSupernodes() {
+				return fmt.Errorf("summary: superedge to unknown supernode %d", b)
+			}
+			if s.wts[a][i] <= 0 {
+				return fmt.Errorf("summary: non-positive weight on {%d,%d}", a, b)
+			}
+			w, ok := s.HasSuperedge(b, uint32(a))
+			if !ok || w != s.wts[a][i] {
+				return fmt.Errorf("summary: superedge {%d,%d} asymmetric", a, b)
+			}
+			if b >= uint32(a) {
+				count++
+			}
+		}
+	}
+	if count != s.numP {
+		return fmt.Errorf("summary: |P|=%d but counted %d", s.numP, count)
+	}
+	return nil
+}
