@@ -22,6 +22,21 @@
 // sparse set of superedges; many graph algorithms run directly on it through
 // the neighborhood query, trading exactness for memory.
 //
+// # Serving
+//
+// pegasus-serve runs the §IV application as a daemon: it builds a summary —
+// or, with -shards N, a cluster of per-part personalized summaries with a
+// node→shard routing table — and answers queries over HTTP with a
+// query-result cache, a bounded worker pool and per-request timeouts:
+//
+//	go run ./cmd/pegasus-serve -graph g.txt -shards 4 -partition louvain
+//	curl -s -X POST localhost:8080/v1/query/rwr  -d '{"node": 42}'
+//	curl -s -X POST localhost:8080/v1/query/topk -d '{"node": 42, "k": 5}'
+//	curl -s localhost:8080/metrics
+//
+// (Omit -graph to serve a generated SBM graph.) Programmatic use goes
+// through Serve / NewServer with a ServerConfig.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package pegasus

@@ -1,0 +1,3 @@
+module pegasus
+
+go 1.24

@@ -37,6 +37,41 @@ func (m *Machine) SizeBits() float64 {
 	return 0
 }
 
+// Oracle returns neighborhood access to the machine's artifact — the single
+// dispatch point between summary and subgraph machines for the generic
+// (Appendix A) algorithms.
+func (m *Machine) Oracle() queries.Oracle {
+	if m.Summary != nil {
+		return queries.SummaryOracle{S: m.Summary}
+	}
+	return queries.GraphOracle{G: m.Subgraph}
+}
+
+// RWR answers a random-walk-with-restart query on the machine's artifact.
+func (m *Machine) RWR(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error) {
+	if m.Summary != nil {
+		return queries.SummaryRWR(m.Summary, q, cfg)
+	}
+	return queries.GraphRWR(m.Subgraph, q, cfg)
+}
+
+// HOP answers a shortest-path-length query on the machine's artifact.
+func (m *Machine) HOP(q graph.NodeID) ([]int32, error) {
+	if m.Summary != nil {
+		return queries.SummaryHOP(m.Summary, q)
+	}
+	return queries.GraphHOP(m.Subgraph, q)
+}
+
+// PHP answers a penalized-hitting-probability query on the machine's
+// artifact.
+func (m *Machine) PHP(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error) {
+	if m.Summary != nil {
+		return queries.SummaryPHP(m.Summary, q, cfg)
+	}
+	return queries.GraphPHP(m.Subgraph, q, cfg)
+}
+
 // Cluster is a set of machines plus the node→machine routing table (the
 // "mapping function from nodes to summary graphs" of §I).
 type Cluster struct {
@@ -54,6 +89,16 @@ func (c *Cluster) Route(q graph.NodeID) (uint32, error) {
 	return c.Assign[q], nil
 }
 
+// RouteMachine returns the machine that answers queries on node q — the
+// shard-routing primitive of the serving layer.
+func (c *Cluster) RouteMachine(q graph.NodeID) (*Machine, error) {
+	i, err := c.Route(q)
+	if err != nil {
+		return nil, err
+	}
+	return c.Machines[i], nil
+}
+
 // MaxMachineBits returns the largest per-machine footprint — the memory a
 // deployment must provision per worker.
 func (c *Cluster) MaxMachineBits() float64 {
@@ -68,41 +113,29 @@ func (c *Cluster) MaxMachineBits() float64 {
 
 // RWR answers a random-walk-with-restart query for q on q's machine only.
 func (c *Cluster) RWR(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error) {
-	i, err := c.Route(q)
+	m, err := c.RouteMachine(q)
 	if err != nil {
 		return nil, err
 	}
-	m := c.Machines[i]
-	if m.Summary != nil {
-		return queries.SummaryRWR(m.Summary, q, cfg)
-	}
-	return queries.GraphRWR(m.Subgraph, q, cfg)
+	return m.RWR(q, cfg)
 }
 
 // HOP answers a shortest-path-length query for q on q's machine only.
 func (c *Cluster) HOP(q graph.NodeID) ([]int32, error) {
-	i, err := c.Route(q)
+	m, err := c.RouteMachine(q)
 	if err != nil {
 		return nil, err
 	}
-	m := c.Machines[i]
-	if m.Summary != nil {
-		return queries.SummaryHOP(m.Summary, q)
-	}
-	return queries.GraphHOP(m.Subgraph, q)
+	return m.HOP(q)
 }
 
 // PHP answers a penalized-hitting-probability query for q on q's machine.
 func (c *Cluster) PHP(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error) {
-	i, err := c.Route(q)
+	m, err := c.RouteMachine(q)
 	if err != nil {
 		return nil, err
 	}
-	m := c.Machines[i]
-	if m.Summary != nil {
-		return queries.SummaryPHP(m.Summary, q, cfg)
-	}
-	return queries.GraphPHP(m.Subgraph, q, cfg)
+	return m.PHP(q, cfg)
 }
 
 // Summarizer produces a summary of g personalized to the given target set

@@ -64,6 +64,18 @@ func TestRoutingFollowsPartition(t *testing.T) {
 	if _, err := c.Route(graph.NodeID(99999)); err == nil {
 		t.Error("out-of-range query accepted")
 	}
+	for u := 0; u < g.NumNodes(); u += 29 {
+		mc, err := c.RouteMachine(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc != c.Machines[labels[u]] {
+			t.Fatalf("node %d routed to the wrong machine", u)
+		}
+	}
+	if _, err := c.RouteMachine(graph.NodeID(99999)); err == nil {
+		t.Error("RouteMachine accepted an out-of-range query")
+	}
 }
 
 func TestClusterQueriesRun(t *testing.T) {

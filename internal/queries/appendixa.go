@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,6 +61,10 @@ type PageRankConfig struct {
 	Eps float64
 	// MaxIter caps power iterations (default 200).
 	MaxIter int
+	// Ctx, when non-nil, is checked once per power iteration; a cancelled
+	// context stops the iteration early, returning the current vector (check
+	// Ctx.Err() to distinguish convergence from cancellation).
+	Ctx context.Context
 }
 
 func (c PageRankConfig) withDefaults() PageRankConfig {
@@ -95,6 +100,9 @@ func PageRank(o Oracle, cfg PageRankConfig) []float64 {
 		r[i] = 1 / float64(n)
 	}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if ctxErr(cfg.Ctx) != nil {
+			break
+		}
 		dead := 0.0
 		for i := range next {
 			next[i] = 0

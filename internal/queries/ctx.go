@@ -1,0 +1,23 @@
+package queries
+
+import "context"
+
+// The iterative queries (RWR, PHP, PageRank, push) accept an optional
+// context through their configs so that long power iterations can be
+// cancelled mid-flight — per-request timeouts in the serving layer depend on
+// this. A nil context never cancels, so zero-valued configs behave exactly
+// as before.
+
+// ctxErr reports a pending cancellation on ctx without blocking; a nil ctx
+// never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

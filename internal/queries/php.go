@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"fmt"
 
 	"pegasus/internal/graph"
@@ -15,6 +16,9 @@ type PHPConfig struct {
 	Eps float64
 	// MaxIter caps fixed-point iterations (default 1000).
 	MaxIter int
+	// Ctx, when non-nil, is checked once per fixed-point iteration; a
+	// cancelled context aborts the query with the context's error.
+	Ctx context.Context
 }
 
 func (c PHPConfig) withDefaults() PHPConfig {
@@ -49,6 +53,9 @@ func PHP(o Oracle, q graph.NodeID, cfg PHPConfig) ([]float64, error) {
 	next := make([]float64, n)
 	p[q] = 1
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
 		delta := 0.0
 		for u := 0; u < n; u++ {
 			if graph.NodeID(u) == q {
@@ -116,6 +123,9 @@ func SummaryPHP(s *summary.Summary, q graph.NodeID, cfg PHPConfig) ([]float64, e
 	superIn := make([]float64, ns) // Σ_{B adj A} w_AB · sumPHP_B
 	p[q] = 1
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
 		for a := range sumPHP {
 			sumPHP[a] = 0
 		}

@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"fmt"
 
 	"pegasus/internal/graph"
@@ -16,6 +17,9 @@ type PushConfig struct {
 	Eps float64
 	// MaxPushes caps the number of push operations (default 50·|V|).
 	MaxPushes int
+	// Ctx, when non-nil, is checked periodically (every 1024 pushes); a
+	// cancelled context aborts the query with the context's error.
+	Ctx context.Context
 }
 
 func (c PushConfig) withDefaults(n int) PushConfig {
@@ -62,6 +66,11 @@ func PushRWR(o Oracle, q graph.NodeID, cfg PushConfig) ([]float64, error) {
 
 	pushes := 0
 	for len(queue) > 0 && pushes < cfg.MaxPushes {
+		if pushes&1023 == 0 {
+			if err := ctxErr(cfg.Ctx); err != nil {
+				return nil, err
+			}
+		}
 		u := queue[0]
 		queue = queue[1:]
 		inQueue[u] = false

@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"fmt"
 
 	"pegasus/internal/graph"
@@ -15,6 +16,9 @@ type RWRConfig struct {
 	Eps float64
 	// MaxIter caps power iterations (default 1000).
 	MaxIter int
+	// Ctx, when non-nil, is checked once per power iteration; a cancelled
+	// context aborts the query with the context's error.
+	Ctx context.Context
 }
 
 func (c RWRConfig) withDefaults() RWRConfig {
@@ -57,6 +61,9 @@ func RWR(o Oracle, q graph.NodeID, cfg RWRConfig) ([]float64, error) {
 		r[i] = 1 / float64(n)
 	}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
 		for i := range next {
 			next[i] = 0
 		}
@@ -139,6 +146,9 @@ func SummaryRWR(s *summary.Summary, q graph.NodeID, cfg RWRConfig) ([]float64, e
 		r[i] = 1 / float64(n)
 	}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
 		dead := 0.0
 		for a := range mass {
 			mass[a] = 0

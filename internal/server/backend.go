@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"pegasus/internal/core"
+	"pegasus/internal/distributed"
+	"pegasus/internal/graph"
+	"pegasus/internal/partition"
+	"pegasus/internal/queries"
+	"pegasus/internal/summary"
+)
+
+// backend answers queries against the serving artifact: either one
+// personalized summary (single-shard) or a distributed.Cluster whose routing
+// table sends each query node to the machine owning it (§IV). Backends are
+// immutable after construction; POST /v1/summarize builds a replacement and
+// the server swaps the pointer.
+type backend interface {
+	numNodes() int
+	numShards() int
+	// shard returns the shard owning query node q (always 0 when unsharded).
+	shard(q graph.NodeID) (int, error)
+	// reports describes each shard's summary artifact.
+	reports() []summary.Report
+	rwr(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error)
+	hop(q graph.NodeID) ([]int32, error)
+	php(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error)
+	// pagerank runs over the artifact of the given shard.
+	pagerank(shard int, cfg queries.PageRankConfig) ([]float64, error)
+}
+
+// summaryBackend serves every query from one summary graph.
+type summaryBackend struct {
+	s *summary.Summary
+}
+
+func (b *summaryBackend) numNodes() int             { return b.s.NumNodes() }
+func (b *summaryBackend) numShards() int            { return 1 }
+func (b *summaryBackend) reports() []summary.Report { return []summary.Report{b.s.Describe()} }
+
+func (b *summaryBackend) shard(q graph.NodeID) (int, error) {
+	if int(q) >= b.s.NumNodes() {
+		return 0, fmt.Errorf("server: query node %d out of range (|V|=%d)", q, b.s.NumNodes())
+	}
+	return 0, nil
+}
+
+func (b *summaryBackend) rwr(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error) {
+	return queries.SummaryRWR(b.s, q, cfg)
+}
+
+func (b *summaryBackend) hop(q graph.NodeID) ([]int32, error) {
+	return queries.SummaryHOP(b.s, q)
+}
+
+func (b *summaryBackend) php(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error) {
+	return queries.SummaryPHP(b.s, q, cfg)
+}
+
+func (b *summaryBackend) pagerank(_ int, cfg queries.PageRankConfig) ([]float64, error) {
+	return pageRankChecked(queries.SummaryOracle{S: b.s}, cfg)
+}
+
+// clusterBackend routes each query to the machine owning the query node and
+// answers it there — the communication-free serving scheme of §IV.
+type clusterBackend struct {
+	c *distributed.Cluster
+}
+
+func (b *clusterBackend) numNodes() int  { return len(b.c.Assign) }
+func (b *clusterBackend) numShards() int { return len(b.c.Machines) }
+
+func (b *clusterBackend) shard(q graph.NodeID) (int, error) {
+	i, err := b.c.Route(q)
+	if err != nil {
+		return 0, err
+	}
+	return int(i), nil
+}
+
+func (b *clusterBackend) reports() []summary.Report {
+	out := make([]summary.Report, len(b.c.Machines))
+	for i, m := range b.c.Machines {
+		if m.Summary != nil {
+			out[i] = m.Summary.Describe()
+		}
+	}
+	return out
+}
+
+func (b *clusterBackend) rwr(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error) {
+	m, err := b.c.RouteMachine(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.RWR(q, cfg)
+}
+
+func (b *clusterBackend) hop(q graph.NodeID) ([]int32, error) {
+	m, err := b.c.RouteMachine(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.HOP(q)
+}
+
+func (b *clusterBackend) php(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error) {
+	m, err := b.c.RouteMachine(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.PHP(q, cfg)
+}
+
+func (b *clusterBackend) pagerank(shard int, cfg queries.PageRankConfig) ([]float64, error) {
+	if shard < 0 || shard >= len(b.c.Machines) {
+		return nil, fmt.Errorf("server: shard %d out of range (m=%d)", shard, len(b.c.Machines))
+	}
+	return pageRankChecked(b.c.Machines[shard].Oracle(), cfg)
+}
+
+// pageRankChecked runs PageRank and surfaces a context cancellation as an
+// error (PageRank itself returns the partial vector on cancellation).
+func pageRankChecked(o queries.Oracle, cfg queries.PageRankConfig) ([]float64, error) {
+	r := queries.PageRank(o, cfg)
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// buildBackend constructs the serving artifact: a single summary
+// personalized to cfg.Targets, or — when cfg.Shards >= 2 — an Alg. 3
+// cluster where shard i holds a summary personalized to partition part i.
+// The build respects ctx through the summarizer's per-machine invocations
+// only coarsely (summarization itself is not cancellable); callers should
+// budget for it at startup.
+func buildBackend(ctx context.Context, g *graph.Graph, cfg Config) (backend, error) {
+	budgetBits := cfg.BudgetRatio * g.SizeBits()
+	base := core.Config{Alpha: cfg.Alpha, Seed: cfg.Seed}
+	if cfg.Shards <= 1 {
+		res, err := core.Summarize(g, core.Config{
+			Targets:    cfg.Targets,
+			Alpha:      cfg.Alpha,
+			Seed:       cfg.Seed,
+			BudgetBits: budgetBits,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: summarize: %w", err)
+		}
+		return &summaryBackend{s: res.Summary}, nil
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	default:
+	}
+	labels := partition.Partition(g, cfg.Shards, partition.Method(cfg.PartitionMethod), cfg.Seed)
+	c, err := distributed.BuildSummaryCluster(g, labels, cfg.Shards, budgetBits,
+		distributed.PegasusSummarizer(base))
+	if err != nil {
+		return nil, fmt.Errorf("server: build cluster: %w", err)
+	}
+	return &clusterBackend{c: c}, nil
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(64)
+	ctx := context.Background()
+	v, st, err := c.GetOrCompute(ctx, "k", func() (any, error) { return 42, nil })
+	if err != nil || st != CacheMiss || v.(int) != 42 {
+		t.Fatalf("first lookup: got (%v, %v, %v), want (42, miss, nil)", v, st, err)
+	}
+	v, st, err = c.GetOrCompute(ctx, "k", func() (any, error) {
+		t.Fatal("recomputed a cached key")
+		return nil, nil
+	})
+	if err != nil || st != CacheHit || v.(int) != 42 {
+		t.Fatalf("second lookup: got (%v, %v, %v), want (42, hit, nil)", v, st, err)
+	}
+}
+
+func TestCacheSingleflightDedup(t *testing.T) {
+	c := NewCache(64)
+	ctx := context.Background()
+	var calls atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	// Leader enters the compute function and blocks.
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, st, err := c.GetOrCompute(ctx, "k", func() (any, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return "v", nil
+		})
+		if err != nil || st != CacheMiss || v.(string) != "v" {
+			t.Errorf("leader: got (%v, %v, %v)", v, st, err)
+		}
+	}()
+	<-started
+
+	// Everyone arriving while the leader computes shares its flight.
+	const waiters = 32
+	var wg sync.WaitGroup
+	statuses := make([]CacheStatus, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, st, err := c.GetOrCompute(ctx, "k", func() (any, error) {
+				calls.Add(1)
+				return "v", nil
+			})
+			statuses[i] = st
+			if err != nil || v.(string) != "v" {
+				t.Errorf("waiter %d: got (%v, %v)", i, v, err)
+			}
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let waiters park on the flight
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i, st := range statuses {
+		if st != CacheShared {
+			t.Errorf("waiter %d: status %v, want shared", i, st)
+		}
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	const capacity = 32
+	c := NewCache(capacity)
+	ctx := context.Background()
+	for i := 0; i < 10*capacity; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.GetOrCompute(ctx, key, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache holds %d entries, cap %d", n, capacity)
+	}
+	// The most recently inserted key must still be resident.
+	_, st, _ := c.GetOrCompute(ctx, fmt.Sprintf("k%d", 10*capacity-1), func() (any, error) {
+		return nil, errors.New("evicted")
+	})
+	if st != CacheHit {
+		t.Fatalf("most recent key: status %v, want hit", st)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(64)
+	ctx := context.Background()
+	c.GetOrCompute(ctx, "k", func() (any, error) { return 1, nil })
+	c.Purge()
+	if n := c.Len(); n != 0 {
+		t.Fatalf("after purge: %d entries, want 0", n)
+	}
+	_, st, _ := c.GetOrCompute(ctx, "k", func() (any, error) { return 2, nil })
+	if st != CacheMiss {
+		t.Fatalf("after purge: status %v, want miss", st)
+	}
+}
+
+func TestCacheDisabledStorage(t *testing.T) {
+	c := NewCache(-1)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_, st, _ := c.GetOrCompute(ctx, "k", func() (any, error) { return 1, nil })
+		if st != CacheMiss {
+			t.Fatalf("lookup %d: status %v, want miss (storage disabled)", i, st)
+		}
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("disabled cache holds %d entries", n)
+	}
+}
+
+func TestCacheErrorNotStored(t *testing.T) {
+	c := NewCache(64)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute(ctx, "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	_, st, err := c.GetOrCompute(ctx, "k", func() (any, error) { return 7, nil })
+	if err != nil || st != CacheMiss {
+		t.Fatalf("after error: got (%v, %v), want (miss, nil)", st, err)
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := NewCache(64)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.GetOrCompute(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrCompute(ctx, "k", func() (any, error) { return 1, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestCacheWaiterRetriesAfterLeaderTimeout(t *testing.T) {
+	// A waiter with remaining budget must not inherit the leader's deadline
+	// error: it retries the computation under its own context.
+	c := NewCache(64)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.GetOrCompute(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		return nil, context.DeadlineExceeded // the leader ran out of time
+	})
+	<-started
+
+	waiterDone := make(chan struct{})
+	var val any
+	var st CacheStatus
+	var err error
+	go func() {
+		defer close(waiterDone)
+		val, st, err = c.GetOrCompute(context.Background(), "k", func() (any, error) {
+			return "retried", nil
+		})
+	}()
+	close(release)
+	<-waiterDone
+	if err != nil || st != CacheMiss || val.(string) != "retried" {
+		t.Fatalf("waiter: got (%v, %v, %v), want (retried, miss, nil)", val, st, err)
+	}
+}
+
+func TestCachePanicDoesNotPoisonKey(t *testing.T) {
+	c := NewCache(64)
+	ctx := context.Background()
+	_, _, err := c.GetOrCompute(ctx, "k", func() (any, error) { panic("boom") })
+	if err == nil {
+		t.Fatal("panicking computation returned no error")
+	}
+	// The key must be usable again, not blocked on a leaked flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, st, err := c.GetOrCompute(ctx, "k", func() (any, error) { return 5, nil })
+		if err != nil || st != CacheMiss || v.(int) != 5 {
+			t.Errorf("after panic: got (%v, %v, %v)", v, st, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key poisoned: lookup after panic never returned")
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	// Race-detector stress: many goroutines over a small keyspace with
+	// eviction pressure and periodic purges.
+	c := NewCache(8)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w*7+i)%24)
+				v, _, err := c.GetOrCompute(ctx, key, func() (any, error) { return key, nil })
+				if err != nil {
+					t.Errorf("lookup %s: %v", key, err)
+					return
+				}
+				if v.(string) != key {
+					t.Errorf("lookup %s returned %v", key, v)
+					return
+				}
+				if i%50 == 49 {
+					c.Purge()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const size = 3
+	p := NewPool(size)
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Run(context.Background(), func() error {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("pool run: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > size {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", got, size)
+	}
+}
+
+func TestPoolRespectsContextWhileQueued(t *testing.T) {
+	p := NewPool(1)
+	block := make(chan struct{})
+	go p.Run(context.Background(), func() error { <-block; return nil })
+	for p.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	defer close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := p.Run(ctx, func() error {
+		t.Error("ran despite expired context")
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}

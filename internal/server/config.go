@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pegasus/internal/graph"
+	"pegasus/internal/partition"
+)
+
+// Config parameterizes the serving daemon. Zero values select defaults.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// Shards is the number of machines in the serving cluster (default 1: a
+	// single personalized summary, no routing table).
+	Shards int
+	// PartitionMethod divides the node set across shards when Shards >= 2:
+	// "louvain", "blp", "shpi", "shpii", "shpkl" or "random" (default
+	// "random").
+	PartitionMethod string
+	// BudgetRatio is the per-shard summary budget as a fraction of Size(G)
+	// (default 0.5) — the k of Alg. 3, expressed relatively.
+	BudgetRatio float64
+	// Targets personalizes the single-shard summary (ignored when sharded:
+	// each shard is personalized to the part it owns, per Alg. 3). Empty
+	// means non-personalized.
+	Targets []graph.NodeID
+	// Alpha is the degree of personalization (default 1.25).
+	Alpha float64
+	// Seed drives partitioning and summarization randomness.
+	Seed int64
+	// CacheEntries bounds the query-result cache (default 4096; negative
+	// disables storage, keeping only singleflight dedup).
+	CacheEntries int
+	// Workers bounds concurrently executing query computations (default
+	// GOMAXPROCS).
+	Workers int
+	// QueryTimeout bounds each query computation (default 30s).
+	QueryTimeout time.Duration
+	// ShutdownGrace bounds the drain on graceful shutdown (default 10s).
+	ShutdownGrace time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 {
+		return c, fmt.Errorf("server: Shards must be >= 1, got %d", c.Shards)
+	}
+	if c.PartitionMethod == "" {
+		c.PartitionMethod = string(partition.MethodRandom)
+	}
+	if c.Shards > 1 {
+		switch partition.Method(c.PartitionMethod) {
+		case partition.MethodLouvain, partition.MethodBLP, partition.MethodSHPI,
+			partition.MethodSHPII, partition.MethodSHPKL, partition.MethodRandom:
+		default:
+			return c, fmt.Errorf("server: unknown partition method %q", c.PartitionMethod)
+		}
+	}
+	if c.BudgetRatio == 0 {
+		c.BudgetRatio = 0.5
+	}
+	if c.BudgetRatio < 0 {
+		return c, fmt.Errorf("server: BudgetRatio must be positive, got %v", c.BudgetRatio)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.ShutdownGrace == 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c, nil
+}

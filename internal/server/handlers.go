@@ -1,0 +1,413 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"pegasus/internal/graph"
+	"pegasus/internal/queries"
+	"pegasus/internal/summary"
+)
+
+// QueryRequest is the JSON body of POST /v1/query/{kind}. Zero-valued
+// algorithm parameters select the paper defaults (restart 0.05, c 0.95,
+// damping 0.85, ...).
+type QueryRequest struct {
+	// Node is the query node q; for pagerank it only selects the shard.
+	Node uint32 `json:"node"`
+	// K bounds the top-k answer (topk only; default 10).
+	K int `json:"k"`
+	// Metric is the score the topk answer ranks by: "rwr" (default), "php"
+	// or "pagerank".
+	Metric string `json:"metric"`
+	// Restart is the RWR restart probability.
+	Restart float64 `json:"restart"`
+	// C is the PHP penalty factor.
+	C float64 `json:"c"`
+	// Damping is the PageRank continuation probability.
+	Damping float64 `json:"damping"`
+	// Eps is the iteration convergence tolerance.
+	Eps float64 `json:"eps"`
+	// MaxIter caps the iterations.
+	MaxIter int `json:"max_iter"`
+}
+
+// maxTopK bounds the k of a topk query: ranking is O(k·|V|) on the handler
+// goroutine, so k must not become a CPU amplification vector.
+const maxTopK = 1000
+
+// validate range-checks the algorithm parameters. Divergent settings (e.g.
+// a PHP penalty factor > 1) would iterate to ±Inf, which neither the cache
+// nor JSON encoding should ever see. Returns "" when valid.
+func (r QueryRequest) validate() string {
+	if r.Restart < 0 || r.Restart > 1 {
+		return fmt.Sprintf("restart must be in [0,1], got %v", r.Restart)
+	}
+	if r.C < 0 || r.C > 1 {
+		return fmt.Sprintf("c must be in [0,1], got %v", r.C)
+	}
+	if r.Damping < 0 || r.Damping > 1 {
+		return fmt.Sprintf("damping must be in [0,1], got %v", r.Damping)
+	}
+	if r.Eps < 0 {
+		return fmt.Sprintf("eps must be non-negative, got %v", r.Eps)
+	}
+	if r.MaxIter < 0 {
+		return fmt.Sprintf("max_iter must be non-negative, got %d", r.MaxIter)
+	}
+	if r.K < 0 || r.K > maxTopK {
+		return fmt.Sprintf("k must be in [1,%d], got %d", maxTopK, r.K)
+	}
+	return ""
+}
+
+// NodeScore is one ranked answer entry.
+type NodeScore struct {
+	Node  uint32  `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// QueryResponse is the JSON answer of POST /v1/query/{kind}.
+type QueryResponse struct {
+	Kind       string      `json:"kind"`
+	Node       uint32      `json:"node"`
+	Shard      int         `json:"shard"`
+	Cached     bool        `json:"cached"`
+	Generation uint64      `json:"generation"`
+	Scores     []float64   `json:"scores,omitempty"`
+	Dist       []int32     `json:"dist,omitempty"` // hop distances; -1 = unreached
+	Top        []NodeScore `json:"top,omitempty"`
+}
+
+// SummarizeRequest is the JSON body of POST /v1/summarize. Nil/zero fields
+// keep the current setting; a present-but-empty targets list switches to a
+// non-personalized summary. Targets are ignored on sharded servers (each
+// shard stays personalized to the part it owns).
+type SummarizeRequest struct {
+	Targets     *[]uint32 `json:"targets"`
+	BudgetRatio float64   `json:"budget_ratio"`
+	Alpha       float64   `json:"alpha"`
+}
+
+// ReportResponse is the JSON answer of GET /v1/summary/report and
+// POST /v1/summarize.
+type ReportResponse struct {
+	Generation uint64           `json:"generation"`
+	Shards     []summary.Report `json:"shards"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the routing handler with metrics instrumentation; mount
+// it on any HTTP server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query/{kind}", s.handleQuery)
+	mux.HandleFunc("GET /v1/summary/report", s.handleReport)
+	mux.HandleFunc("POST /v1/summarize", s.handleSummarize)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// instrument records request count, latency and error status per endpoint.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.metrics.ObserveRequest(endpointLabel(r), time.Since(start), rec.status >= 400)
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpointLabel buckets a request path into a stable metrics label.
+func endpointLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/v1/query/"):
+		// Only known kinds become labels, so unauthenticated clients cannot
+		// grow the metrics map with arbitrary path suffixes.
+		kind := strings.TrimPrefix(p, "/v1/query/")
+		switch kind {
+		case "rwr", "hop", "php", "pagerank", "topk":
+			return "query/" + kind
+		}
+		return "query/invalid"
+	case p == "/v1/summary/report":
+		return "report"
+	case p == "/v1/summarize":
+		return "summarize"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before committing the status line: an unencodable value must
+	// become a 500, not a 200 with an empty body.
+	raw, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		raw, _ = json.Marshal(errorResponse{Error: "response not encodable: " + err.Error()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(raw)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeQueryError maps a computation error to an HTTP status.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "query timed out: %v", err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "query cancelled: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+	}
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	kind := r.PathValue("kind")
+	switch kind {
+	case "rwr", "hop", "php", "pagerank", "topk":
+	default:
+		writeError(w, http.StatusNotFound,
+			"unknown query kind %q (want rwr, hop, php, pagerank or topk)", kind)
+		return
+	}
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if msg := req.validate(); msg != "" {
+		writeError(w, http.StatusBadRequest, "%s", msg)
+		return
+	}
+	metric := kind
+	if kind == "topk" {
+		metric = req.Metric
+		if metric == "" {
+			metric = "rwr"
+		}
+		switch metric {
+		case "rwr", "php", "pagerank":
+		default:
+			writeError(w, http.StatusBadRequest,
+				"unknown topk metric %q (want rwr, php or pagerank)", metric)
+			return
+		}
+		if req.K == 0 {
+			req.K = 10
+		}
+	}
+
+	box := s.current()
+	be := box.be
+	q := graph.NodeID(req.Node)
+	if int(q) >= be.numNodes() {
+		writeError(w, http.StatusBadRequest,
+			"query node %d out of range (|V|=%d)", req.Node, be.numNodes())
+		return
+	}
+	shard, err := be.shard(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.ObserveShard(shard)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+
+	key, compute := queryPlan(box, be, metric, q, shard, req)
+	val, status, err := s.cache.GetOrCompute(ctx, key, func() (any, error) {
+		var out any
+		runErr := s.pool.Run(ctx, func() error {
+			v, err := compute(ctx)
+			out = v
+			return err
+		})
+		return out, runErr
+	})
+	if err != nil {
+		// Errored lookups (timed-out waiters in particular) stay out of the
+		// hit/miss counters, or hit_rate would climb exactly when the server
+		// is timing out.
+		writeQueryError(w, err)
+		return
+	}
+	s.metrics.ObserveCache(status)
+
+	resp := QueryResponse{
+		Kind:       kind,
+		Node:       req.Node,
+		Shard:      shard,
+		Cached:     status == CacheHit,
+		Generation: box.gen,
+	}
+	switch kind {
+	case "hop":
+		resp.Dist = val.([]int32)
+	case "topk":
+		scores := val.([]float64)
+		for _, id := range queries.TopK(scores, req.K) {
+			resp.Top = append(resp.Top, NodeScore{Node: uint32(id), Score: scores[id]})
+		}
+	default:
+		resp.Scores = val.([]float64)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryPlan returns the cache key and compute closure for one query. The
+// key carries the backend generation, so results computed against a
+// replaced backend can never be served after a re-summarize; topk shares
+// the underlying score vector with plain metric queries.
+func queryPlan(box *backendBox, be backend, metric string, q graph.NodeID, shard int, req QueryRequest) (string, func(context.Context) (any, error)) {
+	switch metric {
+	case "hop":
+		return fmt.Sprintf("g%d|hop|n%d", box.gen, q),
+			func(ctx context.Context) (any, error) {
+				_ = ctx // BFS is single-pass; bounded by the pool, not the context
+				return be.hop(q)
+			}
+	case "php":
+		cfg := queries.PHPConfig{C: req.C, Eps: req.Eps, MaxIter: req.MaxIter}
+		return fmt.Sprintf("g%d|php|n%d|c%g,e%g,i%d", box.gen, q, cfg.C, cfg.Eps, cfg.MaxIter),
+			func(ctx context.Context) (any, error) {
+				cfg.Ctx = ctx
+				return be.php(q, cfg)
+			}
+	case "pagerank":
+		cfg := queries.PageRankConfig{Damping: req.Damping, Eps: req.Eps, MaxIter: req.MaxIter}
+		return fmt.Sprintf("g%d|pagerank|s%d|d%g,e%g,i%d", box.gen, shard, cfg.Damping, cfg.Eps, cfg.MaxIter),
+			func(ctx context.Context) (any, error) {
+				cfg.Ctx = ctx
+				return be.pagerank(shard, cfg)
+			}
+	default: // rwr
+		cfg := queries.RWRConfig{Restart: req.Restart, Eps: req.Eps, MaxIter: req.MaxIter}
+		return fmt.Sprintf("g%d|rwr|n%d|r%g,e%g,i%d", box.gen, q, cfg.Restart, cfg.Eps, cfg.MaxIter),
+			func(ctx context.Context) (any, error) {
+				cfg.Ctx = ctx
+				return be.rwr(q, cfg)
+			}
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, _ *http.Request) {
+	box := s.current()
+	writeJSON(w, http.StatusOK, ReportResponse{
+		Generation: box.gen,
+		Shards:     box.be.reports(),
+	})
+}
+
+func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	var req SummarizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.BudgetRatio < 0 {
+		writeError(w, http.StatusBadRequest, "budget_ratio must be positive, got %v", req.BudgetRatio)
+		return
+	}
+	if req.Alpha != 0 && req.Alpha < 1 {
+		writeError(w, http.StatusBadRequest, "alpha must be >= 1, got %v", req.Alpha)
+		return
+	}
+	var targets []graph.NodeID
+	if req.Targets != nil {
+		targets = make([]graph.NodeID, 0, len(*req.Targets))
+		for _, t := range *req.Targets {
+			if int(t) >= s.g.NumNodes() {
+				writeError(w, http.StatusBadRequest,
+					"target %d out of range (|V|=%d)", t, s.g.NumNodes())
+				return
+			}
+			targets = append(targets, graph.NodeID(t))
+		}
+	}
+
+	apply := func(cfg Config) Config {
+		if req.Targets != nil {
+			cfg.Targets = targets
+		}
+		if req.BudgetRatio != 0 {
+			cfg.BudgetRatio = req.BudgetRatio
+		}
+		if req.Alpha != 0 {
+			cfg.Alpha = req.Alpha
+		}
+		return cfg
+	}
+	if err := s.rebuild(r.Context(), apply); err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	box := s.current()
+	writeJSON(w, http.StatusOK, ReportResponse{
+		Generation: box.gen,
+		Shards:     box.be.reports(),
+	})
+}
+
+type healthResponse struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Shards     int    `json:"shards"`
+	Nodes      int    `json:"nodes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	box := s.current()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Generation: box.gen,
+		Shards:     box.be.numShards(),
+		Nodes:      box.be.numNodes(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK,
+		s.metrics.SnapshotNow(s.cache.Len(), s.pool.InFlight(), s.gen.Load()))
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency histogram buckets; bucket 0 counts
+// sub-microsecond requests and bucket i >= 1 counts latencies in
+// [2^(i-1), 2^i) microseconds (the bits.Len64 bucketing below), so the
+// histogram spans 1µs to ~9 minutes.
+const histBuckets = 30
+
+// Metrics aggregates serving telemetry with lock-free counters on the hot
+// path. Per-endpoint and per-shard counters are fixed arrays of atomics
+// sized at construction.
+type Metrics struct {
+	start    time.Time
+	requests atomic.Uint64
+	errors   atomic.Uint64
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	cacheShared atomic.Uint64
+
+	latency [histBuckets]atomic.Uint64
+	latSum  atomic.Uint64 // microseconds
+
+	mu        sync.Mutex
+	endpoints map[string]*atomic.Uint64
+	shards    []atomic.Uint64
+}
+
+// NewMetrics returns a Metrics tracking numShards per-shard counters.
+func NewMetrics(numShards int) *Metrics {
+	return &Metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*atomic.Uint64),
+		shards:    make([]atomic.Uint64, numShards),
+	}
+}
+
+// ObserveRequest records one served request: its endpoint, latency, and
+// whether it ended in an error status.
+func (m *Metrics) ObserveRequest(endpoint string, d time.Duration, isError bool) {
+	m.requests.Add(1)
+	if isError {
+		m.errors.Add(1)
+	}
+	us := uint64(d.Microseconds())
+	m.latSum.Add(us)
+	b := bits.Len64(us) // [2^(b-1), 2^b) for us > 0
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	m.latency[b].Add(1)
+	m.endpointCounter(endpoint).Add(1)
+}
+
+func (m *Metrics) endpointCounter(endpoint string) *atomic.Uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.endpoints[endpoint]
+	if !ok {
+		c = new(atomic.Uint64)
+		m.endpoints[endpoint] = c
+	}
+	return c
+}
+
+// ObserveShard records a query routed to shard i.
+func (m *Metrics) ObserveShard(i int) {
+	if i >= 0 && i < len(m.shards) {
+		m.shards[i].Add(1)
+	}
+}
+
+// ObserveCache records a cache lookup outcome.
+func (m *Metrics) ObserveCache(s CacheStatus) {
+	switch s {
+	case CacheHit:
+		m.cacheHits.Add(1)
+	case CacheShared:
+		m.cacheShared.Add(1)
+	default:
+		m.cacheMisses.Add(1)
+	}
+}
+
+// percentile returns the upper bound of the bucket containing the p-th
+// percentile request (p in [0,1]), in milliseconds.
+func (m *Metrics) percentile(p float64) float64 {
+	var counts [histBuckets]uint64
+	total := uint64(0)
+	for i := range counts {
+		counts[i] = m.latency[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			return float64(uint64(1)<<uint(i)) / 1000.0 // bucket upper bound, µs→ms
+		}
+	}
+	return float64(uint64(1)<<uint(histBuckets)) / 1000.0
+}
+
+// CacheMetrics is the cache section of a metrics snapshot.
+type CacheMetrics struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	Shared  uint64  `json:"shared"` // singleflight-deduplicated lookups
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+}
+
+// Snapshot is a point-in-time view of the serving telemetry, served as JSON
+// by GET /metrics.
+type Snapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      uint64            `json:"requests"`
+	Errors        uint64            `json:"errors"`
+	QPS           float64           `json:"qps"`
+	LatencyAvgMs  float64           `json:"latency_avg_ms"`
+	LatencyP50Ms  float64           `json:"latency_p50_ms"`
+	LatencyP90Ms  float64           `json:"latency_p90_ms"`
+	LatencyP99Ms  float64           `json:"latency_p99_ms"`
+	Cache         CacheMetrics      `json:"cache"`
+	Endpoints     map[string]uint64 `json:"endpoints"`
+	ShardQueries  []uint64          `json:"shard_queries"`
+	InFlight      int               `json:"in_flight"`
+	Generation    uint64            `json:"generation"`
+}
+
+// SnapshotNow assembles a snapshot; cacheEntries, inFlight and generation
+// come from the server because Metrics does not own those components.
+func (m *Metrics) SnapshotNow(cacheEntries, inFlight int, generation uint64) Snapshot {
+	uptime := time.Since(m.start).Seconds()
+	reqs := m.requests.Load()
+	hits, misses, shared := m.cacheHits.Load(), m.cacheMisses.Load(), m.cacheShared.Load()
+	s := Snapshot{
+		UptimeSeconds: uptime,
+		Requests:      reqs,
+		Errors:        m.errors.Load(),
+		LatencyP50Ms:  m.percentile(0.50),
+		LatencyP90Ms:  m.percentile(0.90),
+		LatencyP99Ms:  m.percentile(0.99),
+		Cache: CacheMetrics{
+			Hits:    hits,
+			Misses:  misses,
+			Shared:  shared,
+			Entries: cacheEntries,
+		},
+		Endpoints:    make(map[string]uint64),
+		ShardQueries: make([]uint64, len(m.shards)),
+		InFlight:     inFlight,
+		Generation:   generation,
+	}
+	if uptime > 0 {
+		s.QPS = float64(reqs) / uptime
+	}
+	if reqs > 0 {
+		s.LatencyAvgMs = float64(m.latSum.Load()) / float64(reqs) / 1000.0
+	}
+	if lookups := hits + misses + shared; lookups > 0 {
+		// Shared lookups count as hits: the work was deduplicated away.
+		s.Cache.HitRate = float64(hits+shared) / float64(lookups)
+	}
+	m.mu.Lock()
+	for name, c := range m.endpoints {
+		s.Endpoints[name] = c.Load()
+	}
+	m.mu.Unlock()
+	for i := range m.shards {
+		s.ShardQueries[i] = m.shards[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,40 @@
+package server
+
+import "context"
+
+// Pool is a bounded worker pool: at most size query computations run at
+// once, so a burst of heavy RWR/PHP power iterations queues instead of
+// exhausting the host. Waiting respects the request context, so a client
+// that times out while queued never occupies a slot.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool admitting size concurrent computations (minimum 1).
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{sem: make(chan struct{}, size)}
+}
+
+// Run executes fn once a worker slot is free, or returns ctx's error if the
+// context is cancelled while waiting.
+func (p *Pool) Run(ctx context.Context, fn func() error) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// InFlight returns the number of currently occupied worker slots.
+func (p *Pool) InFlight() int { return len(p.sem) }
+
+// Size returns the pool capacity.
+func (p *Pool) Size() int { return cap(p.sem) }

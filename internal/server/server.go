@@ -1,0 +1,159 @@
+// Package server implements pegasus-serve, the concurrent summary-serving
+// subsystem: an stdlib-only HTTP daemon that loads or builds a graph, holds
+// either one personalized summary or a sharded distributed.Cluster, and
+// answers node-similarity queries over JSON endpoints. Every query on node q
+// is routed to the shard owning q (the routing table of §IV), answered on
+// that shard's summary alone, and cached in a sharded LRU with singleflight
+// deduplication. A bounded worker pool keeps heavy power iterations from
+// exhausting the host, and every computation honors the request context for
+// timeouts and cancellation.
+//
+// Endpoints:
+//
+//	POST /v1/query/{rwr|hop|php|pagerank|topk}   answer a query (JSON body)
+//	GET  /v1/summary/report                      per-shard summary structure
+//	POST /v1/summarize                           rebuild with new targets/budget
+//	GET  /healthz                                liveness probe
+//	GET  /metrics                                QPS, latency percentiles, cache
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"pegasus/internal/graph"
+)
+
+// Server is the serving daemon state. Construct with New, mount Handler on
+// any http server (tests use httptest), or let Run manage the listener and
+// graceful shutdown.
+type Server struct {
+	cfg     Config
+	g       *graph.Graph
+	cache   *Cache
+	pool    *Pool
+	metrics *Metrics
+
+	// mu guards backend swaps (POST /v1/summarize) and buildCfg; the atomics
+	// below make reads lock-free on the query path.
+	mu       sync.Mutex
+	buildCfg Config // parameters the current backend was built with
+	backend  atomic.Pointer[backendBox]
+	gen      atomic.Uint64
+
+	// addr holds the bound listener address once Run starts serving.
+	addr atomic.Pointer[string]
+}
+
+// backendBox pairs a backend with the generation it was built under, so a
+// query observes one consistent (backend, generation) pair.
+type backendBox struct {
+	be  backend
+	gen uint64
+}
+
+// New builds the serving artifact for g per cfg (this runs summarization and
+// can take a while on large graphs) and returns a ready Server.
+func New(ctx context.Context, g *graph.Graph, cfg Config) (*Server, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if g == nil || g.NumNodes() == 0 {
+		return nil, errors.New("server: nil or empty graph")
+	}
+	be, err := buildBackend(ctx, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		g:        g,
+		buildCfg: cfg,
+		cache:    NewCache(cfg.CacheEntries),
+		pool:     NewPool(cfg.Workers),
+		metrics:  NewMetrics(be.numShards()),
+	}
+	s.backend.Store(&backendBox{be: be, gen: 1})
+	s.gen.Store(1)
+	return s, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Graph returns the graph the server was built from.
+func (s *Server) Graph() *graph.Graph { return s.g }
+
+// current returns the active backend and its generation.
+func (s *Server) current() *backendBox { return s.backend.Load() }
+
+// rebuild replaces the backend, bumps the generation, and purges the cache.
+// apply derives the new build config from the current one; it runs under
+// s.mu so concurrent re-summarize requests compose instead of losing each
+// other's overrides. Rebuilds serialize on s.mu; queries keep flowing
+// against the old backend until the swap.
+func (s *Server) rebuild(ctx context.Context, apply func(Config) Config) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg := apply(s.buildCfg)
+	be, err := buildBackend(ctx, s.g, cfg)
+	if err != nil {
+		return err
+	}
+	gen := s.gen.Add(1)
+	s.backend.Store(&backendBox{be: be, gen: gen})
+	s.buildCfg = cfg
+	s.cache.Purge()
+	return nil
+}
+
+// Addr returns the bound listener address once Run is serving ("" before).
+func (s *Server) Addr() string {
+	if p := s.addr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Run listens on cfg.Addr and serves until ctx is cancelled, then drains
+// in-flight requests for up to cfg.ShutdownGrace. It returns nil on a clean
+// shutdown.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	bound := ln.Addr().String()
+	s.addr.Store(&bound)
+
+	hs := &http.Server{
+		Handler: s.Handler(),
+		BaseContext: func(net.Listener) context.Context {
+			return context.WithoutCancel(ctx)
+		},
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	<-errc // always http.ErrServerClosed after a clean Shutdown
+	return nil
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pegasus/internal/gen"
+)
+
+// The load-smoke benchmarks measure end-to-end serving latency of an RWR
+// query through the full handler path (routing, pool, cache, JSON), giving
+// future serving PRs a perf baseline:
+//
+//	go test -bench 'BenchmarkServe' -benchtime 2s ./internal/server/
+var (
+	benchOnce sync.Once
+	benchSrv  *Server
+	benchErr  error
+)
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	benchOnce.Do(func() {
+		g := gen.PlantedPartition(gen.SBMConfig{
+			Nodes: 1000, Communities: 8, AvgDegree: 10, MixingP: 0.05,
+		}, 21)
+		benchSrv, benchErr = New(context.Background(), g, Config{
+			Shards:          2,
+			PartitionMethod: "random",
+			BudgetRatio:     0.4,
+			Seed:            21,
+		})
+	})
+	if benchErr != nil {
+		b.Fatalf("build bench server: %v", benchErr)
+	}
+	return benchSrv
+}
+
+func benchQuery(b *testing.B, s *Server, h http.Handler, node uint32) {
+	b.Helper()
+	body, _ := json.Marshal(QueryRequest{Node: node})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/query/rwr", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServeRWRUncached purges the cache every iteration: each query
+// pays the full power iteration on the owning shard's summary.
+func BenchmarkServeRWRUncached(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.Purge()
+		benchQuery(b, s, h, 42)
+	}
+}
+
+// BenchmarkServeRWRCached repeats one warm query: the cost is routing, cache
+// lookup and JSON encoding only.
+func BenchmarkServeRWRCached(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	benchQuery(b, s, h, 42) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchQuery(b, s, h, 42)
+	}
+}
+
+// BenchmarkServeRWRCachedParallel hammers one warm query from all procs —
+// the contention profile of a hot key.
+func BenchmarkServeRWRCachedParallel(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	benchQuery(b, s, h, 42) // warm
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchQuery(b, s, h, 42)
+		}
+	})
+}

@@ -13,17 +13,17 @@ import (
 // output" (§I): supernodes are readable groups, superedges readable
 // block-level relations.
 type Report struct {
-	Nodes          int
-	Supernodes     int
-	Superedges     int
-	SelfLoops      int
-	Singletons     int     // supernodes with exactly one member
-	MaxSupernode   int     // largest member count
-	AvgSupernode   float64 // mean member count
-	MedSupernode   float64
-	SizeBits       float64
-	Weighted       bool
-	AvgSuperDegree float64 // mean superedges per supernode
+	Nodes          int     `json:"nodes"`
+	Supernodes     int     `json:"supernodes"`
+	Superedges     int     `json:"superedges"`
+	SelfLoops      int     `json:"self_loops"`
+	Singletons     int     `json:"singletons"`    // supernodes with exactly one member
+	MaxSupernode   int     `json:"max_supernode"` // largest member count
+	AvgSupernode   float64 `json:"avg_supernode"` // mean member count
+	MedSupernode   float64 `json:"med_supernode"`
+	SizeBits       float64 `json:"size_bits"`
+	Weighted       bool    `json:"weighted"`
+	AvgSuperDegree float64 `json:"avg_super_degree"` // mean superedges per supernode
 }
 
 // Describe computes the report.

@@ -1,0 +1,46 @@
+package pegasus
+
+import (
+	"context"
+
+	"pegasus/internal/server"
+)
+
+// Serving --------------------------------------------------------------------
+//
+// pegasus-serve turns the communication-free multi-query answering scheme of
+// §IV into a running system: a summary (or a sharded cluster of summaries)
+// is held in memory and node-similarity queries are answered over HTTP, each
+// routed to the shard owning the query node.
+
+type (
+	// ServerConfig parameterizes the serving daemon (listen address, shard
+	// count, partition method, per-shard budget, cache size, worker pool,
+	// timeouts).
+	ServerConfig = server.Config
+	// Server is the summary-serving HTTP daemon.
+	Server = server.Server
+	// QueryRequest is the JSON body of POST /v1/query/{kind}.
+	QueryRequest = server.QueryRequest
+	// QueryResponse is the JSON answer of POST /v1/query/{kind}.
+	QueryResponse = server.QueryResponse
+	// MetricsSnapshot is the JSON answer of GET /metrics.
+	MetricsSnapshot = server.Snapshot
+)
+
+// NewServer builds the serving artifact for g per cfg — a single summary, or
+// an Alg. 3 cluster when cfg.Shards >= 2 — and returns a ready Server. This
+// runs summarization and can take a while on large graphs.
+func NewServer(ctx context.Context, g *Graph, cfg ServerConfig) (*Server, error) {
+	return server.New(ctx, g, cfg)
+}
+
+// Serve builds the serving artifact and serves HTTP on cfg.Addr until ctx is
+// cancelled, then drains gracefully.
+func Serve(ctx context.Context, g *Graph, cfg ServerConfig) error {
+	s, err := server.New(ctx, g, cfg)
+	if err != nil {
+		return err
+	}
+	return s.Run(ctx)
+}
