@@ -1,10 +1,12 @@
 package pegasus
 
 import (
+	"context"
 	"fmt"
 
 	"pegasus/internal/core"
 	"pegasus/internal/distributed"
+	"pegasus/internal/par"
 	"pegasus/internal/partition"
 )
 
@@ -46,9 +48,41 @@ func PartitionGraph(g *Graph, m int, method string, seed int64) ([]uint32, error
 // BuildSummaryCluster builds the Alg. 3 cluster: machine i holds a PeGaSus
 // summary of g personalized to part i (labels in [0,m)), each within
 // budgetBits. cfg carries the remaining PeGaSus settings (α, β, seed, ...).
+// The m per-shard summaries build concurrently (§IV is communication-free,
+// so the builds are independent) with up to GOMAXPROCS in flight; use
+// BuildSummaryClusterCtx for cancellation and an explicit worker bound.
+// Note that shard concurrency holds that many engines' working state in
+// memory at once; bound it with BuildSummaryClusterCtx(..., workers) when
+// building large graphs near the memory limit.
 func BuildSummaryCluster(g *Graph, labels []uint32, m int, budgetBits float64, cfg Config) (*Cluster, error) {
-	return distributed.BuildSummaryCluster(g, labels, m, budgetBits,
-		distributed.PegasusSummarizer(core.Config(cfg)))
+	return BuildSummaryClusterCtx(context.Background(), g, labels, m, budgetBits, cfg, 0)
+}
+
+// BuildSummaryClusterCtx is BuildSummaryCluster with cooperative
+// cancellation and an explicit bound on concurrent shard builds (workers;
+// 0 = GOMAXPROCS, 1 = sequential). The first shard failure cancels the
+// remaining builds. The resulting cluster is identical for every worker
+// count and fixed seed.
+//
+// When cfg.Workers is 0 the worker budget is split between the two levels
+// of parallelism — concurrent shard builds × in-engine scoring workers —
+// so the build runs ~workers goroutines total instead of workers², the
+// same policy the serving daemon applies to BuildWorkers.
+func BuildSummaryClusterCtx(ctx context.Context, g *Graph, labels []uint32, m int, budgetBits float64, cfg Config, workers int) (*Cluster, error) {
+	if cfg.Workers == 0 && m > 0 {
+		total := par.Workers(workers)
+		concurrentShards := total
+		if concurrentShards > m {
+			concurrentShards = m
+		}
+		if perEngine := total / concurrentShards; perEngine >= 1 {
+			cfg.Workers = perEngine
+		} else {
+			cfg.Workers = 1
+		}
+	}
+	return distributed.BuildSummaryClusterCtx(ctx, g, labels, m, budgetBits,
+		distributed.PegasusSummarizer(core.Config(cfg)), workers)
 }
 
 // BuildSubgraphCluster builds the graph-partitioning alternative of §IV:

@@ -16,17 +16,19 @@ import (
 
 	"pegasus"
 	"pegasus/internal/graph"
+	"pegasus/internal/par"
 	"pegasus/internal/partition"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input edge-list file (required)")
-		out    = flag.String("out", "", "output label file: one part ID per node (optional)")
-		m      = flag.Int("m", 8, "number of parts")
-		method = flag.String("method", "louvain", "louvain | blp | shpi | shpii | shpkl | random")
-		seed   = flag.Int64("seed", 0, "random seed")
-		all    = flag.Bool("compare", false, "run every method and print a quality table")
+		in      = flag.String("in", "", "input edge-list file (required)")
+		out     = flag.String("out", "", "output label file: one part ID per node (optional)")
+		m       = flag.Int("m", 8, "number of parts")
+		method  = flag.String("method", "louvain", "louvain | blp | shpi | shpii | shpkl | random")
+		seed    = flag.Int64("seed", 0, "random seed")
+		all     = flag.Bool("compare", false, "run every method and print a quality table")
+		workers = flag.Int("workers", 0, "methods partitioned concurrently in -compare mode (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -41,10 +43,16 @@ func main() {
 	fmt.Printf("input: |V|=%d |E|=%d\n", g.NumNodes(), g.NumEdges())
 
 	if *all {
+		// Each method partitions independently; run them concurrently and
+		// print in the fixed method order once all are done.
+		methods := append(partition.Methods, partition.MethodRandom)
+		results := make([][]uint32, len(methods))
+		par.ForEach(*workers, len(methods), func(_, i int) {
+			results[i] = partition.Partition(g, *m, methods[i], *seed)
+		})
 		fmt.Printf("%-8s  %10s  %8s  %9s\n", "method", "edge-cut", "fanout", "imbalance")
-		for _, mm := range append(partition.Methods, partition.MethodRandom) {
-			labels := partition.Partition(g, *m, mm, *seed)
-			report(g, string(mm), labels, *m)
+		for i, mm := range methods {
+			report(g, string(mm), results[i], *m)
 		}
 		return
 	}

@@ -30,21 +30,22 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		gPath   = flag.String("graph", "", "edge list to serve; empty generates an SBM graph")
-		nodes   = flag.Int("gen-nodes", 2000, "generated graph: node count")
-		comms   = flag.Int("gen-communities", 8, "generated graph: community count")
-		deg     = flag.Float64("gen-degree", 12, "generated graph: average degree")
-		mixing  = flag.Float64("gen-mixing", 0.05, "generated graph: inter-community mixing")
-		shards  = flag.Int("shards", 1, "serving shards (>=2 builds an Alg. 3 cluster)")
-		method  = flag.String("partition", "random", "partition method: louvain | blp | shpi | shpii | shpkl | random")
-		budget  = flag.Float64("budget", 0.5, "per-shard summary budget as a fraction of Size(G)")
-		alpha   = flag.Float64("alpha", 0, "degree of personalization (0 = default 1.25)")
-		targets = flag.String("targets", "", "comma-separated target nodes (single-shard personalization)")
-		seed    = flag.Int64("seed", 0, "random seed for partitioning and summarization")
-		cache   = flag.Int("cache", 4096, "query-result cache entries (negative disables)")
-		workers = flag.Int("workers", 0, "concurrent query computations (0 = GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-query timeout")
+		addr     = flag.String("addr", ":8080", "listen address")
+		gPath    = flag.String("graph", "", "edge list to serve; empty generates an SBM graph")
+		nodes    = flag.Int("gen-nodes", 2000, "generated graph: node count")
+		comms    = flag.Int("gen-communities", 8, "generated graph: community count")
+		deg      = flag.Float64("gen-degree", 12, "generated graph: average degree")
+		mixing   = flag.Float64("gen-mixing", 0.05, "generated graph: inter-community mixing")
+		shards   = flag.Int("shards", 1, "serving shards (>=2 builds an Alg. 3 cluster)")
+		method   = flag.String("partition", "random", "partition method: louvain | blp | shpi | shpii | shpkl | random")
+		budget   = flag.Float64("budget", 0.5, "per-shard summary budget as a fraction of Size(G)")
+		alpha    = flag.Float64("alpha", 0, "degree of personalization (0 = default 1.25)")
+		targets  = flag.String("targets", "", "comma-separated target nodes (single-shard personalization)")
+		seed     = flag.Int64("seed", 0, "random seed for partitioning and summarization")
+		cache    = flag.Int("cache", 4096, "query-result cache entries (negative disables)")
+		workers  = flag.Int("workers", 0, "concurrent query computations (0 = GOMAXPROCS)")
+		bworkers = flag.Int("build-workers", 0, "build-pipeline goroutines for startup and hot rebuilds (0 = GOMAXPROCS, 1 = sequential; artifact is identical either way)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-query timeout")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 		Seed:            *seed,
 		CacheEntries:    *cache,
 		Workers:         *workers,
+		BuildWorkers:    *bworkers,
 		QueryTimeout:    *timeout,
 	}
 

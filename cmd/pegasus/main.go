@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"pegasus"
 )
@@ -31,6 +34,7 @@ func main() {
 		beta    = flag.Float64("beta", 0.1, "adaptive-thresholding parameter (0,1]")
 		tmax    = flag.Int("tmax", 20, "maximum iterations")
 		seed    = flag.Int64("seed", 0, "random seed")
+		workers = flag.Int("workers", 0, "build-pipeline goroutines (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 		ssummF  = flag.Bool("ssumm", false, "run the SSumM baseline instead of PeGaSus")
 		lcc     = flag.Bool("lcc", true, "reduce to the largest connected component first")
 		stats   = flag.Bool("stats", false, "print per-iteration statistics to stderr")
@@ -40,6 +44,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	g, err := pegasus.LoadGraph(*in)
 	if err != nil {
 		fatal("load graph: %v", err)
@@ -51,12 +57,13 @@ func main() {
 
 	var res *pegasus.Result
 	if *ssummF {
-		res, err = pegasus.SummarizeSSumM(g, pegasus.SSumMConfig{
+		res, err = pegasus.SummarizeSSumMCtx(ctx, g, pegasus.SSumMConfig{
 			BudgetBits: *bits, BudgetRatio: *ratio, MaxIter: *tmax, Seed: *seed,
-			Trace: trace(*stats),
+			Workers: *workers,
+			Trace:   trace(*stats),
 		})
 	} else {
-		res, err = pegasus.Summarize(g, pegasus.Config{
+		res, err = pegasus.SummarizeCtx(ctx, g, pegasus.Config{
 			Targets:     parseTargets(*targets),
 			Alpha:       *alpha,
 			Beta:        *beta,
@@ -64,6 +71,7 @@ func main() {
 			BudgetBits:  *bits,
 			BudgetRatio: *ratio,
 			Seed:        *seed,
+			Workers:     *workers,
 			Trace:       trace(*stats),
 		})
 	}

@@ -22,6 +22,15 @@
 // sparse set of superedges; many graph algorithms run directly on it through
 // the neighborhood query, trading exactness for memory.
 //
+// # Parallel builds
+//
+// Summarization is parallel end to end: Config.Workers bounds the build
+// pipeline (0 selects GOMAXPROCS), SummarizeCtx aborts mid-build on context
+// cancellation, and BuildSummaryCluster constructs its per-shard summaries
+// concurrently — the §IV scheme is communication-free, so shard builds are
+// independent. Every worker count produces bit-identical output for a fixed
+// seed; see DESIGN.md "The parallel build pipeline".
+//
 // # Serving
 //
 // pegasus-serve runs the §IV application as a daemon: it builds a summary —

@@ -11,6 +11,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 
 	"pegasus/internal/graph"
 	"pegasus/internal/summary"
@@ -73,6 +75,12 @@ type Config struct {
 	BudgetRatio float64
 	// Seed drives all randomness (hash functions, pair sampling).
 	Seed int64
+	// Workers bounds the goroutines used by the parallel build pipeline
+	// (shingle computation, engine initialization, candidate-pair scoring).
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces the fully sequential path.
+	// The pipeline is worker-count invariant: every value of Workers yields
+	// bit-identical summaries for a fixed seed (see DESIGN.md).
+	Workers int
 	// MaxGroupSize caps candidate group sizes (default 500, §III-C).
 	MaxGroupSize int
 	// MaxSplitDepth caps recursive shingle splitting (default 10, §III-C).
@@ -104,8 +112,11 @@ func (c Config) withDefaults(g *graph.Graph) (Config, error) {
 	if c.Beta == 0 {
 		c.Beta = 0.1
 	}
-	if c.Beta < 0 || c.Beta > 1 {
-		return c, fmt.Errorf("core: beta must be in [0,1], got %v", c.Beta)
+	// NaN fails every comparison, so it must be rejected explicitly: a NaN
+	// Beta would silently degenerate the θ schedule (threshold.go clamps the
+	// selection index but never re-validates Beta).
+	if math.IsNaN(c.Beta) || c.Beta < 0 || c.Beta > 1 {
+		return c, fmt.Errorf("core: beta must be in (0,1], got %v", c.Beta)
 	}
 	if c.MaxIter == 0 {
 		c.MaxIter = 20
@@ -124,6 +135,12 @@ func (c Config) withDefaults(g *graph.Graph) (Config, error) {
 	}
 	if c.BudgetBits < 0 {
 		return c, fmt.Errorf("core: BudgetBits must be non-negative, got %v", c.BudgetBits)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		return c, fmt.Errorf("core: Workers must be >= 1 (or 0 for GOMAXPROCS), got %d", c.Workers)
 	}
 	if c.MaxGroupSize == 0 {
 		c.MaxGroupSize = 500

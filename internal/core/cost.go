@@ -113,18 +113,26 @@ func (eng *engine) supernodeCost(a uint32, pm *pairMass) float64 {
 // Eq. (10) (absolute) and Eq. (11) (relative). It fills eng.pmA/pmB as a
 // side effect (reused by performMerge when the pair is accepted).
 func (eng *engine) evaluateMerge(a, b uint32) (rel, abs float64) {
-	eng.accumulateMass(a, &eng.pmA)
-	eng.accumulateMass(b, &eng.pmB)
+	return eng.evaluateMergeInto(a, b, &eng.pmA, &eng.pmB)
+}
 
-	costA := eng.supernodeCost(a, &eng.pmA)
-	costB := eng.supernodeCost(b, &eng.pmB)
+// evaluateMergeInto is evaluateMerge with caller-supplied mass scratch: it
+// only reads the engine state, so distinct scratch pairs may evaluate
+// distinct candidate pairs concurrently (the parallel scoring path). pmA/pmB
+// are left holding the masses of a and b for reuse by performMerge.
+func (eng *engine) evaluateMergeInto(a, b uint32, pmA, pmB *pairMass) (rel, abs float64) {
+	eng.accumulateMass(a, pmA)
+	eng.accumulateMass(b, pmB)
+
+	costA := eng.supernodeCost(a, pmA)
+	costB := eng.supernodeCost(b, pmB)
 
 	logS2 := 2 * math.Log2(math.Max(float64(eng.numSuper), 2))
-	tAB, eAB := crossTotals(eng.sumPi[a], eng.sumPi[b], eng.pmA.m[b])
+	tAB, eAB := crossTotals(eng.sumPi[a], eng.sumPi[b], pmA.m[b])
 	costAB := eng.pairCost(tAB, eAB, eng.hasSuperedge(a, b), logS2)
 
 	before := costA + costB - costAB
-	costC := eng.mergedCost(a, b)
+	costC := eng.mergedCost(a, b, pmA, pmB)
 	abs = before - costC
 	if before <= 1e-12 {
 		// Two cost-free supernodes (e.g. isolated): merging is neutral.
@@ -137,50 +145,57 @@ func (eng *engine) evaluateMerge(a, b uint32) (rel, abs float64) {
 // the cost of the hypothetical merged supernode with superedges re-chosen
 // optimally (Alg. 2 line 9), evaluated in the post-merge summary where
 // |S| is one smaller. Requires pmA/pmB to hold the masses of a and b.
-func (eng *engine) mergedCost(a, b uint32) float64 {
+func (eng *engine) mergedCost(a, b uint32, pmA, pmB *pairMass) float64 {
 	logS2 := 2 * math.Log2(math.Max(float64(eng.numSuper-1), 2))
 	piC := eng.sumPi[a] + eng.sumPi[b]
 	qC := eng.sumPiSq[a] + eng.sumPiSq[b]
 
 	total := 0.0
 	// Cross pairs to every adjacent supernode X ∉ {a,b}.
-	for _, x := range eng.pmA.keys {
+	for _, x := range pmA.keys {
 		if x == a || x == b {
 			continue
 		}
-		dm := eng.pmA.m[x] + eng.pmB.m[x] // m[x] is 0 when absent
+		dm := pmA.m[x] + pmB.m[x] // m[x] is 0 when absent
 		t, e := crossTotals(piC, eng.sumPi[x], dm)
 		c, _ := eng.bestPairCost(t, e, logS2)
 		total += c
 	}
-	for _, x := range eng.pmB.keys {
+	for _, x := range pmB.keys {
 		if x == a || x == b {
 			continue
 		}
-		if _, seen := eng.pmA.m[x]; seen {
+		if _, seen := pmA.m[x]; seen {
 			continue // already handled above
 		}
-		t, e := crossTotals(piC, eng.sumPi[x], eng.pmB.m[x])
+		t, e := crossTotals(piC, eng.sumPi[x], pmB.m[x])
 		c, _ := eng.bestPairCost(t, e, logS2)
 		total += c
 	}
 	// Self pair of the merged supernode: ordered intra mass
 	// dm_AA + dm_BB + 2·m_AB.
-	dmCC := eng.pmA.m[a] + eng.pmB.m[b] + 2*eng.pmA.m[b]
+	dmCC := pmA.m[a] + pmB.m[b] + 2*pmA.m[b]
 	t, e := selfTotals(piC, qC, dmCC)
 	c, _ := eng.bestPairCost(t, e, logS2)
 	return total + c
 }
 
-// performMerge merges slot b into slot a (Alg. 2 lines 6–9): removes stale
-// superedges, unions members and aggregates, and re-adds superedges
-// incident to the merged supernode exactly when presence lowers the pair
-// cost. pmA/pmB must hold the masses of a and b (as left by evaluateMerge;
-// recomputed defensively if stale).
+// performMerge merges slot b into slot a using the main-goroutine scratch;
+// see performMergeWith.
 func (eng *engine) performMerge(a, b uint32, massesFresh bool) {
+	eng.performMergeWith(a, b, &eng.pmA, &eng.pmB, massesFresh)
+}
+
+// performMergeWith merges slot b into slot a (Alg. 2 lines 6–9): removes
+// stale superedges, unions members and aggregates, and re-adds superedges
+// incident to the merged supernode exactly when presence lowers the pair
+// cost. pmA/pmB must hold the masses of a and b (as left by the argmax
+// evaluation's scratch, so the winning evaluation is not repeated here;
+// recomputed when massesFresh is false).
+func (eng *engine) performMergeWith(a, b uint32, pmA, pmB *pairMass, massesFresh bool) {
 	if !massesFresh {
-		eng.accumulateMass(a, &eng.pmA)
-		eng.accumulateMass(b, &eng.pmB)
+		eng.accumulateMass(a, pmA)
+		eng.accumulateMass(b, pmB)
 	}
 	eng.removeIncidentSuperedges(a)
 	eng.removeIncidentSuperedges(b)
@@ -211,21 +226,21 @@ func (eng *engine) performMerge(a, b uint32, massesFresh bool) {
 		}
 	}
 
-	dmCC := eng.pmA.m[a] + eng.pmB.m[b] + 2*eng.pmA.m[b]
-	for _, x := range eng.pmA.keys {
+	dmCC := pmA.m[a] + pmB.m[b] + 2*pmA.m[b]
+	for _, x := range pmA.keys {
 		if x == a || x == b {
 			continue
 		}
-		decide(x, eng.pmA.m[x]+eng.pmB.m[x])
+		decide(x, pmA.m[x]+pmB.m[x])
 	}
-	for _, x := range eng.pmB.keys {
+	for _, x := range pmB.keys {
 		if x == a || x == b {
 			continue
 		}
-		if _, inA := eng.pmA.m[x]; inA {
+		if _, inA := pmA.m[x]; inA {
 			continue
 		}
-		decide(x, eng.pmB.m[x])
+		decide(x, pmB.m[x])
 	}
 	if dmCC > 0 {
 		decide(a, dmCC)

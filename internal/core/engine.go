@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"pegasus/internal/graph"
+	"pegasus/internal/par"
 	"pegasus/internal/summary"
 	"pegasus/internal/weights"
 )
@@ -32,8 +33,12 @@ type engine struct {
 	numP     int               // |P|
 	logV     float64           // log2|V|
 
-	// scratch buffers reused across merge evaluations
+	// scratch buffers reused across merge evaluations on the main goroutine
 	pmA, pmB pairMass
+
+	// scorer holds the batched-round state of mergeGroup: the sampled pairs
+	// of the current round and the per-worker evaluation scratch.
+	scorer roundScorer
 }
 
 // pairMass accumulates directed weighted edge mass from one supernode to
@@ -79,18 +84,22 @@ func newEngine(g *graph.Graph, w *weights.Weights, cfg Config) *engine {
 		logV:     math.Log2(math.Max(float64(n), 2)),
 	}
 	invSqrtZ := 1 / math.Sqrt(w.Z)
-	for u := 0; u < n; u++ {
-		p := w.Pi[u] * invSqrtZ
-		e.pi[u] = p
-		e.superOf[u] = uint32(u)
-		e.members[u] = []graph.NodeID{graph.NodeID(u)}
-		e.sumPi[u] = p
-		e.sumPiSq[u] = p * p
-		e.sedges[u] = make(map[uint32]bool, g.Degree(graph.NodeID(u)))
-		for _, v := range g.Neighbors(graph.NodeID(u)) {
-			e.sedges[u][uint32(v)] = true
+	// Each index writes only its own slots, so the singleton initialization
+	// is range-shardable; the result is identical for any worker count.
+	par.Range(cfg.Workers, n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			p := w.Pi[u] * invSqrtZ
+			e.pi[u] = p
+			e.superOf[u] = uint32(u)
+			e.members[u] = []graph.NodeID{graph.NodeID(u)}
+			e.sumPi[u] = p
+			e.sumPiSq[u] = p * p
+			e.sedges[u] = make(map[uint32]bool, g.Degree(graph.NodeID(u)))
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				e.sedges[u][uint32(v)] = true
+			}
 		}
-	}
+	})
 	e.pmA.m = make(map[uint32]float64)
 	e.pmB.m = make(map[uint32]float64)
 	return e

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"pegasus/internal/gen"
@@ -45,6 +46,22 @@ func BenchmarkCandidateGroups(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.candidateGroups(i + 1)
+	}
+}
+
+// BenchmarkSummarizeWorkers measures a full summarization at different
+// engine parallelism levels; every level produces the same summary, so the
+// deltas are pure pipeline overhead/speedup.
+func BenchmarkSummarizeWorkers(b *testing.B) {
+	g := gen.BarabasiAlbert(3000, 4, 1)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Summarize(g, Config{BudgetRatio: 0.4, Seed: 7, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -3,51 +3,51 @@ package core
 import "math"
 
 // mergeGroup runs the merging-and-addition step (Alg. 2) on one candidate
-// group: repeatedly sample |Ci| supernode pairs, take the pair maximizing
-// the cost reduction, merge it if the reduction clears the threshold θ, and
-// otherwise record the rejected reduction in L. The group is abandoned after
-// log2|Ci| consecutive failures. Returns the number of merges performed;
-// rejected reductions are appended to *rejected.
+// group: each round samples |Ci| supernode pairs, scores the distinct ones
+// (in parallel when the round is large, see scorer.go), takes the pair
+// maximizing the cost reduction, merges it if the reduction clears the
+// threshold θ, and otherwise records the rejected reduction in L. The group
+// is abandoned after log2|Ci| consecutive failures. Returns the number of
+// merges performed; rejected reductions are appended to *rejected.
+//
+// Two legacy defects are fixed here while preserving the exact RNG stream
+// and argmax selection of the original sequential loop: re-drawn (a,b)
+// pairs are deduped instead of burning evaluations on identical re-scores,
+// and the argmax evaluation's masses are handed to performMergeWith instead
+// of being recomputed.
 func (e *engine) mergeGroup(group []uint32, theta float64, rejected *[]float64) int {
 	fails := 0
 	merges := 0
 	// group is mutated in place: merged-away slots are swapped out.
 	for len(group) > 1 && float64(fails) <= math.Log2(float64(len(group))) {
 		nPairs := len(group)
-		bestScore := math.Inf(-1)
-		var bestA, bestB uint32
-		found := false
+		// Draw the full round upfront. The draws never depended on the
+		// interleaved evaluations, so batching consumes the same RNG values
+		// in the same order as the legacy loop.
+		samples := e.scorer.samples[:0]
 		for i := 0; i < nPairs; i++ {
 			ai := e.rng.Intn(len(group))
 			bi := e.rng.Intn(len(group) - 1)
 			if bi >= ai {
 				bi++
 			}
-			a, b := group[ai], group[bi]
-			rel, abs := e.evaluateMerge(a, b)
-			score := rel
-			if e.cfg.CostMode == AbsoluteCost {
-				score = abs
-			}
-			if score > bestScore {
-				bestScore, bestA, bestB, found = score, a, b, true
-			}
+			samples = append(samples, pairSample{a: group[ai], b: group[bi]})
 		}
-		if !found {
+		e.scorer.samples = samples
+		win := e.scoreRound(e.scorer.dedupe(samples))
+		if win == nil {
 			break
 		}
 		// The threshold compares against the same statistic that ranked the
 		// pair; under AbsoluteCost the scale differs but the adaptive policy
 		// tracks it automatically via L.
-		if bestScore >= theta {
-			// pmA/pmB hold the masses of the *last* evaluated pair, not
-			// necessarily the argmax; recompute inside performMerge.
-			e.performMerge(bestA, bestB, false)
-			removeSlot(&group, bestB)
+		if win.bestScore >= theta {
+			e.performMergeWith(win.best.a, win.best.b, &win.bestA, &win.bestB, true)
+			removeSlot(&group, win.best.b)
 			merges++
 			fails = 0
 		} else {
-			*rejected = append(*rejected, bestScore)
+			*rejected = append(*rejected, win.bestScore)
 			fails++
 		}
 	}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"hash/fnv"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"pegasus/internal/gen"
+	"pegasus/internal/graph"
+	"pegasus/internal/summary"
+)
+
+// fingerprintSummary hashes the node→supernode assignment and the superedge
+// adjacency into one value: equal fingerprints mean structurally identical
+// summaries.
+func fingerprintSummary(s *summary.Summary) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	put32 := func(x uint32) {
+		buf[0] = byte(x)
+		buf[1] = byte(x >> 8)
+		buf[2] = byte(x >> 16)
+		buf[3] = byte(x >> 24)
+		h.Write(buf[:])
+	}
+	for u := 0; u < s.NumNodes(); u++ {
+		put32(s.Supernode(graph.NodeID(u)))
+	}
+	for a := 0; a < s.NumSupernodes(); a++ {
+		var nbrs []uint32
+		s.ForEachSuperNeighbor(uint32(a), func(b uint32, _ float64) {
+			nbrs = append(nbrs, b)
+		})
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		put32(uint32(a))
+		for _, b := range nbrs {
+			put32(b)
+		}
+	}
+	return h.Sum64()
+}
+
+// Golden fingerprints of the sequential implementation (captured from the
+// pre-parallelization merge loop after the BarabasiAlbert generator was made
+// deterministic). They pin down "Workers=1 is bit-identical to the legacy
+// sequential path": any change to sampling, deduplication, scoring order or
+// mass reuse that alters the result breaks these.
+func TestSequentialGoldens(t *testing.T) {
+	t.Run("ba400-uniform", func(t *testing.T) {
+		g := gen.BarabasiAlbert(400, 3, 1)
+		var merges []int
+		res, err := Summarize(g, Config{BudgetRatio: 0.4, Seed: 42, Workers: 1,
+			Trace: func(s IterStats) { merges = append(merges, s.Merges) }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprintSummary(res.Summary); got != 0xaa434f33b89b2e40 {
+			t.Errorf("fingerprint = %#x, want 0xaa434f33b89b2e40", got)
+		}
+		// The per-iteration merge counts are part of the golden: deduping
+		// re-drawn pairs must not change which merges happen (duplicate
+		// evaluations re-score identical masses and can never win the
+		// strict-greater argmax).
+		wantMerges := []int{0, 20, 12, 6, 10, 20, 15, 12, 12, 24, 13, 13, 4, 31}
+		if !reflect.DeepEqual(merges, wantMerges) {
+			t.Errorf("per-iteration merges = %v, want %v", merges, wantMerges)
+		}
+	})
+	t.Run("sbm240-personalized", func(t *testing.T) {
+		g := gen.PlantedPartition(gen.SBMConfig{Nodes: 240, Communities: 4, AvgDegree: 12, MixingP: 0.08}, 1)
+		lcc, _ := graph.LargestComponent(g)
+		var merges []int
+		res, err := Summarize(lcc, Config{Targets: []graph.NodeID{0, 1, 2}, Alpha: 1.5,
+			BudgetRatio: 0.35, Seed: 7, Workers: 1,
+			Trace: func(s IterStats) { merges = append(merges, s.Merges) }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprintSummary(res.Summary); got != 0x432fb747d9240303 {
+			t.Errorf("fingerprint = %#x, want 0x432fb747d9240303", got)
+		}
+		wantMerges := []int{8, 19, 13, 8, 5, 7, 5, 3, 2, 7, 2, 10, 9, 18, 1}
+		if !reflect.DeepEqual(merges, wantMerges) {
+			t.Errorf("per-iteration merges = %v, want %v", merges, wantMerges)
+		}
+	})
+	t.Run("ssumm300-preset", func(t *testing.T) {
+		g := gen.BarabasiAlbert(300, 4, 9)
+		res, err := Summarize(g, Config{BudgetRatio: 0.3, Seed: 11, Workers: 1,
+			Encoding: BestOfTwo, Threshold: FixedSchedule{TMax: 20}, Alpha: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprintSummary(res.Summary); got != 0x23d59a266a88b3af {
+			t.Errorf("fingerprint = %#x, want 0x23d59a266a88b3af", got)
+		}
+	})
+}
+
+// TestWorkerCountInvariance is the tentpole determinism property: the same
+// seed yields the same summary at every worker count, because parallelism
+// only reorders read-only scoring work, never the RNG stream or the argmax.
+func TestWorkerCountInvariance(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"ba":  gen.BarabasiAlbert(500, 3, 2),
+		"sbm": gen.PlantedPartition(gen.SBMConfig{Nodes: 400, Communities: 4, AvgDegree: 14, MixingP: 0.1}, 3),
+	}
+	cfgs := map[string]Config{
+		"uniform":      {BudgetRatio: 0.35, Seed: 17},
+		"personalized": {Targets: []graph.NodeID{1, 2, 3}, Alpha: 1.5, BudgetRatio: 0.3, Seed: 23},
+		"abscost":      {BudgetRatio: 0.4, Seed: 29, CostMode: AbsoluteCost},
+	}
+	for gname, g := range graphs {
+		for cname, cfg := range cfgs {
+			cfg.Workers = 1
+			ref, err := Summarize(g, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s workers=1: %v", gname, cname, err)
+			}
+			want := fingerprintSummary(ref.Summary)
+			for _, w := range []int{2, 4, 8} {
+				cfg.Workers = w
+				res, err := Summarize(g, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", gname, cname, w, err)
+				}
+				if got := fingerprintSummary(res.Summary); got != want {
+					t.Errorf("%s/%s: workers=%d fingerprint %#x != workers=1 fingerprint %#x",
+						gname, cname, w, got, want)
+				}
+				if res.Iterations != ref.Iterations || res.DroppedSuperedges != ref.DroppedSuperedges ||
+					res.FinalTheta != ref.FinalTheta {
+					t.Errorf("%s/%s: workers=%d result metadata differs from workers=1", gname, cname, w)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSummarizeRace exercises concurrent engines sharing one input
+// graph under the race detector: parallel scoring must only read shared
+// state.
+func TestParallelSummarizeRace(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 5)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Summarize(g, Config{BudgetRatio: 0.4, Seed: int64(i), Workers: 4})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent summarize %d: %v", i, err)
+		}
+	}
+}
+
+func TestSummarizeCtxCancellation(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 4, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SummarizeCtx(ctx, g, Config{BudgetRatio: 0.2, Seed: 1}); err != context.Canceled {
+		t.Fatalf("pre-cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestConfigRejectsNaNBetaAndBadWorkers(t *testing.T) {
+	g := gen.BarabasiAlbert(50, 2, 12)
+	for _, cfg := range []Config{
+		{Beta: math.NaN()},
+		{Workers: -1},
+	} {
+		if _, err := Summarize(g, cfg); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"pegasus/internal/graph"
 	"pegasus/internal/weights"
 )
@@ -8,20 +10,27 @@ import (
 // Summarize runs PeGaSus (Alg. 1) on g and returns a summary graph
 // personalized to cfg.Targets within the bit budget.
 func Summarize(g *graph.Graph, cfg Config) (*Result, error) {
+	return SummarizeCtx(context.Background(), g, cfg)
+}
+
+// SummarizeCtx is Summarize with cooperative cancellation: the engine checks
+// ctx between candidate groups and returns ctx.Err() as soon as it fires.
+// cfg.Workers bounds the goroutines of the parallel build pipeline.
+func SummarizeCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults(g)
 	if err != nil {
 		return nil, err
 	}
-	w, err := weights.New(g, cfg.Targets, cfg.Alpha)
+	w, err := weights.NewParallel(g, cfg.Targets, cfg.Alpha, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	return summarizeWeighted(g, w, cfg)
+	return summarizeWeighted(ctx, g, w, cfg)
 }
 
 // summarizeWeighted is the engine loop shared by PeGaSus and the SSumM
 // preset (which supplies uniform weights).
-func summarizeWeighted(g *graph.Graph, w *weights.Weights, cfg Config) (*Result, error) {
+func summarizeWeighted(ctx context.Context, g *graph.Graph, w *weights.Weights, cfg Config) (*Result, error) {
 	eng := newEngine(g, w, cfg)
 	theta := cfg.Threshold.Initial()
 	iterations := 0
@@ -33,6 +42,9 @@ func summarizeWeighted(g *graph.Graph, w *weights.Weights, cfg Config) (*Result,
 		var rejected []float64
 		merges := 0
 		for _, grp := range groups {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			merges += eng.mergeGroup(grp, theta, &rejected)
 			if eng.sizeBits() <= cfg.BudgetBits {
 				break
@@ -54,6 +66,9 @@ func summarizeWeighted(g *graph.Graph, w *weights.Weights, cfg Config) (*Result,
 		finalTheta = theta
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dropped := 0
 	if eng.sizeBits() > cfg.BudgetBits {
 		dropped = eng.sparsify(cfg.BudgetBits)
@@ -71,6 +86,12 @@ func summarizeWeighted(g *graph.Graph, w *weights.Weights, cfg Config) (*Result,
 // objective reduces to the plain (unweighted) reconstruction error while
 // keeping PeGaSus's adaptive thresholding and relative-cost search.
 func SummarizeNonPersonalized(g *graph.Graph, cfg Config) (*Result, error) {
+	return SummarizeNonPersonalizedCtx(context.Background(), g, cfg)
+}
+
+// SummarizeNonPersonalizedCtx is SummarizeNonPersonalized with cooperative
+// cancellation.
+func SummarizeNonPersonalizedCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	cfg.Targets = nil
 	cfg.Alpha = 1
 	cfg, err := cfg.withDefaults(g)
@@ -78,5 +99,5 @@ func SummarizeNonPersonalized(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	// withDefaults resets Alpha=0 to 1.25; force uniform weights.
-	return summarizeWeighted(g, weights.Uniform(g.NumNodes()), cfg)
+	return summarizeWeighted(ctx, g, weights.Uniform(g.NumNodes()), cfg)
 }

@@ -5,6 +5,7 @@ import (
 
 	"pegasus/internal/graph"
 	"pegasus/internal/minhash"
+	"pegasus/internal/par"
 )
 
 // Candidate generation (§III-C): supernodes are grouped by the shingle
@@ -19,20 +20,25 @@ import (
 // Singleton groups are discarded (nothing to merge).
 
 // nodeShingles computes, for one hash function, the per-node closed
-// neighborhood min-hash: h_u = min over v ∈ N_u ∪ {u} of f(v).
+// neighborhood min-hash: h_u = min over v ∈ N_u ∪ {u} of f(v). Each node's
+// shingle depends only on its own closed neighborhood, so the O(V+E) scan is
+// range-sharded across cfg.Workers goroutines; the output is identical for
+// any worker count.
 func (e *engine) nodeShingles(seed uint64) []uint64 {
 	h := minhash.New(seed)
 	n := e.g.NumNodes()
 	out := make([]uint64, n)
-	for u := 0; u < n; u++ {
-		best := h.Uint64(uint32(u))
-		for _, v := range e.g.Neighbors(graph.NodeID(u)) {
-			if hv := h.Uint64(uint32(v)); hv < best {
-				best = hv
+	par.Range(e.cfg.Workers, n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			best := h.Uint64(uint32(u))
+			for _, v := range e.g.Neighbors(graph.NodeID(u)) {
+				if hv := h.Uint64(uint32(v)); hv < best {
+					best = hv
+				}
 			}
+			out[u] = best
 		}
-		out[u] = best
-	}
+	})
 	return out
 }
 

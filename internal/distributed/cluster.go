@@ -9,10 +9,13 @@
 package distributed
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"pegasus/internal/core"
 	"pegasus/internal/graph"
+	"pegasus/internal/par"
 	"pegasus/internal/queries"
 	"pegasus/internal/summary"
 )
@@ -96,6 +99,13 @@ func (c *Cluster) RouteMachine(q graph.NodeID) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// BuildSummaryCluster validates labels, but Assign tables can also be
+	// hand-assembled or deserialized; an out-of-range label must surface as
+	// an error on the serving path, not a panic.
+	if int(i) >= len(c.Machines) {
+		return nil, fmt.Errorf("distributed: node %d assigned to machine %d, but cluster has %d machines",
+			q, i, len(c.Machines))
+	}
 	return c.Machines[i], nil
 }
 
@@ -139,18 +149,20 @@ func (c *Cluster) PHP(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error) 
 }
 
 // Summarizer produces a summary of g personalized to the given target set
-// within budgetBits. The PeGaSus and SSumM entry points both match.
-type Summarizer func(g *graph.Graph, targets []graph.NodeID, budgetBits float64) (*summary.Summary, error)
+// within budgetBits, honoring ctx for cancellation. The PeGaSus and SSumM
+// entry points both match.
+type Summarizer func(ctx context.Context, g *graph.Graph, targets []graph.NodeID, budgetBits float64) (*summary.Summary, error)
 
-// PegasusSummarizer adapts core.Summarize to the Summarizer shape with the
-// given base configuration (targets and budget are overridden per machine).
+// PegasusSummarizer adapts core.SummarizeCtx to the Summarizer shape with
+// the given base configuration (targets and budget are overridden per
+// machine; base.Workers bounds each machine's in-engine parallelism).
 func PegasusSummarizer(base core.Config) Summarizer {
-	return func(g *graph.Graph, targets []graph.NodeID, budgetBits float64) (*summary.Summary, error) {
+	return func(ctx context.Context, g *graph.Graph, targets []graph.NodeID, budgetBits float64) (*summary.Summary, error) {
 		cfg := base
 		cfg.Targets = targets
 		cfg.BudgetBits = budgetBits
 		cfg.BudgetRatio = 0
-		res, err := core.Summarize(g, cfg)
+		res, err := core.SummarizeCtx(ctx, g, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -160,10 +172,26 @@ func PegasusSummarizer(base core.Config) Summarizer {
 
 // BuildSummaryCluster implements Alg. 3's preprocessing: for each part i of
 // the given partition (labels in [0,m)), build a summary personalized to
-// V_i within budgetBits and load it on machine i.
+// V_i within budgetBits and load it on machine i. The m builds run
+// concurrently with up to GOMAXPROCS in flight; BuildSummaryClusterCtx
+// exposes cancellation and the concurrency knob.
 func BuildSummaryCluster(g *graph.Graph, labels []uint32, m int, budgetBits float64, summarize Summarizer) (*Cluster, error) {
+	return BuildSummaryClusterCtx(context.Background(), g, labels, m, budgetBits, summarize, 0)
+}
+
+// BuildSummaryClusterCtx is BuildSummaryCluster with cooperative
+// cancellation and explicit build parallelism: at most `workers` machine
+// summaries build concurrently (0 = GOMAXPROCS, 1 = sequential). The shard
+// builds are independent — the §IV scheme is communication-free — so the
+// resulting cluster is identical for every worker count. The first build
+// error cancels the remaining builds and is returned; ctx cancellation does
+// the same with ctx.Err().
+func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32, m int, budgetBits float64, summarize Summarizer, workers int) (*Cluster, error) {
 	if len(labels) != g.NumNodes() {
 		return nil, fmt.Errorf("distributed: labels length %d != |V| %d", len(labels), g.NumNodes())
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("distributed: need at least one machine, got m=%d", m)
 	}
 	parts := make([][]graph.NodeID, m)
 	for u, l := range labels {
@@ -172,13 +200,47 @@ func BuildSummaryCluster(g *graph.Graph, labels []uint32, m int, budgetBits floa
 		}
 		parts[l] = append(parts[l], graph.NodeID(u))
 	}
+
+	buildCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	c := &Cluster{Assign: labels, Machines: make([]*Machine, m)}
-	for i := 0; i < m; i++ {
-		s, err := summarize(g, parts[i], budgetBits)
+	errs := make([]error, m)
+	par.ForEach(workers, m, func(_, i int) {
+		if err := buildCtx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		s, err := summarize(buildCtx, g, parts[i], budgetBits)
 		if err != nil {
-			return nil, fmt.Errorf("distributed: machine %d: %w", i, err)
+			errs[i] = err
+			cancel() // first error wins: stop the remaining builds
+			return
 		}
 		c.Machines[i] = &Machine{Summary: s}
+	})
+
+	// A cancelled caller context is not any machine's fault; report it as
+	// plain ctx.Err() rather than blaming whichever shard noticed first.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Report the root cause deterministically: the lowest-indexed machine
+	// whose failure is not just the cancellation fallout of another's.
+	var firstErr error
+	for i, err := range errs {
+		if err == nil || errors.Is(err, context.Canceled) {
+			continue
+		}
+		return nil, fmt.Errorf("distributed: machine %d: %w", i, err)
+	}
+	for i, err := range errs {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("distributed: machine %d: %w", i, err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return c, nil
 }

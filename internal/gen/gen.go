@@ -41,14 +41,23 @@ func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
 			repeated = append(repeated, graph.NodeID(u), graph.NodeID(v))
 		}
 	}
+	// picks keeps the attachment targets in draw order: appending to
+	// repeated in map-iteration order would make the sampling pool — and
+	// therefore every later degree-proportional draw — nondeterministic
+	// across runs for the same seed.
 	chosen := make(map[graph.NodeID]bool, m)
+	picks := make([]graph.NodeID, 0, m)
 	for u := m + 1; u < n; u++ {
 		clear(chosen)
+		picks = picks[:0]
 		for len(chosen) < m {
 			t := repeated[rng.Intn(len(repeated))]
-			chosen[t] = true
+			if !chosen[t] {
+				chosen[t] = true
+				picks = append(picks, t)
+			}
 		}
-		for t := range chosen {
+		for _, t := range picks {
 			b.AddEdge(graph.NodeID(u), t)
 			repeated = append(repeated, graph.NodeID(u), t)
 		}

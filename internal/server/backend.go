@@ -136,32 +136,41 @@ func pageRankChecked(o queries.Oracle, cfg queries.PageRankConfig) ([]float64, e
 // buildBackend constructs the serving artifact: a single summary
 // personalized to cfg.Targets, or — when cfg.Shards >= 2 — an Alg. 3
 // cluster where shard i holds a summary personalized to partition part i.
-// The build respects ctx through the summarizer's per-machine invocations
-// only coarsely (summarization itself is not cancellable); callers should
-// budget for it at startup.
+// cfg.BuildWorkers bounds the build parallelism (concurrent shard builds
+// plus the engine's internal pipeline) and ctx cancels summarization
+// mid-build — a disconnected POST /v1/summarize client stops burning CPU.
 func buildBackend(ctx context.Context, g *graph.Graph, cfg Config) (backend, error) {
 	budgetBits := cfg.BudgetRatio * g.SizeBits()
-	base := core.Config{Alpha: cfg.Alpha, Seed: cfg.Seed}
 	if cfg.Shards <= 1 {
-		res, err := core.Summarize(g, core.Config{
+		res, err := core.SummarizeCtx(ctx, g, core.Config{
 			Targets:    cfg.Targets,
 			Alpha:      cfg.Alpha,
 			Seed:       cfg.Seed,
 			BudgetBits: budgetBits,
+			Workers:    cfg.BuildWorkers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: summarize: %w", err)
 		}
 		return &summaryBackend{s: res.Summary}, nil
 	}
-	select {
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	default:
+	// Split the worker budget between the two levels of parallelism: up to
+	// BuildWorkers shard builds in flight, each engine using the leftover
+	// share, so the build never runs more than ~BuildWorkers goroutines.
+	// The artifact is identical for any split (the pipeline is
+	// worker-count invariant).
+	concurrentShards := cfg.BuildWorkers
+	if concurrentShards > cfg.Shards {
+		concurrentShards = cfg.Shards
 	}
+	perEngine := cfg.BuildWorkers / concurrentShards
+	if perEngine < 1 {
+		perEngine = 1
+	}
+	base := core.Config{Alpha: cfg.Alpha, Seed: cfg.Seed, Workers: perEngine}
 	labels := partition.Partition(g, cfg.Shards, partition.Method(cfg.PartitionMethod), cfg.Seed)
-	c, err := distributed.BuildSummaryCluster(g, labels, cfg.Shards, budgetBits,
-		distributed.PegasusSummarizer(base))
+	c, err := distributed.BuildSummaryClusterCtx(ctx, g, labels, cfg.Shards, budgetBits,
+		distributed.PegasusSummarizer(base), cfg.BuildWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("server: build cluster: %w", err)
 	}

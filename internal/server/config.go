@@ -37,6 +37,12 @@ type Config struct {
 	// Workers bounds concurrently executing query computations (default
 	// GOMAXPROCS).
 	Workers int
+	// BuildWorkers bounds the goroutines used to build the serving artifact
+	// — concurrent per-shard summary builds plus the engine's internal
+	// parallelism — both at startup and on POST /v1/summarize hot rebuilds
+	// (default GOMAXPROCS; 1 forces the sequential build). Any value
+	// produces the same artifact for a fixed seed.
+	BuildWorkers int
 	// QueryTimeout bounds each query computation (default 30s).
 	QueryTimeout time.Duration
 	// ShutdownGrace bounds the drain on graceful shutdown (default 10s).
@@ -77,6 +83,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BuildWorkers == 0 {
+		c.BuildWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.BuildWorkers < 1 {
+		return c, fmt.Errorf("server: BuildWorkers must be >= 1 (or 0 for GOMAXPROCS), got %d", c.BuildWorkers)
 	}
 	if c.QueryTimeout == 0 {
 		c.QueryTimeout = 30 * time.Second

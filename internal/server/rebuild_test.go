@@ -1,0 +1,135 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pegasus/internal/gen"
+)
+
+// TestConcurrentRebuildWhileServing hammers the query endpoints while
+// POST /v1/summarize rebuilds the backend concurrently — the hot-rebuild
+// path of the tentpole. Every response must be coherent (a valid answer
+// against some complete backend generation), and the generation must have
+// advanced by exactly the number of rebuilds. Run with -race.
+func TestConcurrentRebuildWhileServing(t *testing.T) {
+	g := gen.PlantedPartition(gen.SBMConfig{Nodes: 200, Communities: 4, AvgDegree: 8, MixingP: 0.05}, 3)
+	s, err := New(context.Background(), g, Config{
+		Shards:          2,
+		PartitionMethod: "random",
+		BudgetRatio:     0.6,
+		Seed:            1,
+		BuildWorkers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	const rebuilds = 3
+	const queriers = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, queriers*64+rebuilds)
+
+	stop := make(chan struct{})
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node := (q*31 + i*7) % g.NumNodes()
+				res, raw := postJSON(t, h, "/v1/query/rwr", map[string]any{"node": node})
+				if res.StatusCode != 200 {
+					errc <- fmt.Errorf("query during rebuild: status %d: %s", res.StatusCode, raw)
+					return
+				}
+				var qr QueryResponse
+				if err := json.Unmarshal(raw, &qr); err != nil {
+					errc <- fmt.Errorf("bad query response: %v", err)
+					return
+				}
+				if len(qr.Scores) != g.NumNodes() {
+					errc <- fmt.Errorf("scores length %d, want %d", len(qr.Scores), g.NumNodes())
+					return
+				}
+			}
+		}(q)
+	}
+
+	for r := 0; r < rebuilds; r++ {
+		budget := 0.5 + 0.1*float64(r)
+		res, raw := postJSON(t, h, "/v1/summarize", map[string]any{"budget_ratio": budget})
+		if res.StatusCode != 200 {
+			errc <- fmt.Errorf("rebuild %d: status %d: %s", r, res.StatusCode, raw)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	res, raw := do(t, h, httptest.NewRequest("GET", "/healthz", nil))
+	if res.StatusCode != 200 {
+		t.Fatalf("healthz after rebuilds: %d", res.StatusCode)
+	}
+	var hr healthResponse
+	decodeInto(t, raw, &hr)
+	if hr.Generation != 1+rebuilds {
+		t.Errorf("generation = %d, want %d", hr.Generation, 1+rebuilds)
+	}
+}
+
+// TestRebuildCancelledByClient: a summarize request whose context dies
+// mid-build must abort the build and leave the old backend serving.
+func TestRebuildCancelledByClient(t *testing.T) {
+	g := gen.PlantedPartition(gen.SBMConfig{Nodes: 200, Communities: 4, AvgDegree: 8, MixingP: 0.05}, 4)
+	s, err := New(context.Background(), g, Config{Shards: 2, BudgetRatio: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genBefore := s.current().gen
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/summarize",
+		strings.NewReader(`{"budget_ratio":0.4}`)).WithContext(ctx)
+	res, raw := do(t, s.Handler(), req)
+	if res.StatusCode == 200 {
+		t.Fatalf("cancelled rebuild returned 200: %s", raw)
+	}
+	if got := s.current().gen; got != genBefore {
+		t.Errorf("generation advanced to %d after a cancelled rebuild", got)
+	}
+	// The server still answers queries on the old backend.
+	res, _ = postJSON(t, s.Handler(), "/v1/query/rwr", map[string]any{"node": 1})
+	if res.StatusCode != 200 {
+		t.Errorf("query after cancelled rebuild: status %d", res.StatusCode)
+	}
+}
+
+// TestBuildWorkersValidation guards the new ServerConfig field.
+func TestBuildWorkersValidation(t *testing.T) {
+	g := gen.PlantedPartition(gen.SBMConfig{Nodes: 60, Communities: 2, AvgDegree: 6, MixingP: 0.1}, 5)
+	if _, err := New(context.Background(), g, Config{BuildWorkers: -2}); err == nil {
+		t.Error("negative BuildWorkers accepted")
+	}
+	s, err := New(context.Background(), g, Config{BuildWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().BuildWorkers; got != 3 {
+		t.Errorf("BuildWorkers = %d, want 3", got)
+	}
+}

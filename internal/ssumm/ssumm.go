@@ -11,6 +11,8 @@
 package ssumm
 
 import (
+	"context"
+
 	"pegasus/internal/core"
 	"pegasus/internal/graph"
 )
@@ -25,21 +27,30 @@ type Config struct {
 	MaxIter int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the parallel build pipeline goroutines (0 = GOMAXPROCS,
+	// 1 = sequential); any value yields bit-identical output.
+	Workers int
 	// Trace, when non-nil, receives per-iteration statistics.
 	Trace func(core.IterStats)
 }
 
 // Summarize runs SSumM on g.
 func Summarize(g *graph.Graph, cfg Config) (*core.Result, error) {
+	return SummarizeCtx(context.Background(), g, cfg)
+}
+
+// SummarizeCtx is Summarize with cooperative cancellation.
+func SummarizeCtx(ctx context.Context, g *graph.Graph, cfg Config) (*core.Result, error) {
 	maxIter := cfg.MaxIter
 	if maxIter == 0 {
 		maxIter = 20
 	}
-	return core.SummarizeNonPersonalized(g, core.Config{
+	return core.SummarizeNonPersonalizedCtx(ctx, g, core.Config{
 		BudgetBits:  cfg.BudgetBits,
 		BudgetRatio: cfg.BudgetRatio,
 		MaxIter:     maxIter,
 		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
 		Encoding:    core.BestOfTwo,
 		Threshold:   core.FixedSchedule{TMax: maxIter},
 		Trace:       cfg.Trace,

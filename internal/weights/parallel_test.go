@@ -1,0 +1,35 @@
+package weights
+
+import (
+	"math"
+	"testing"
+
+	"pegasus/internal/gen"
+	"pegasus/internal/graph"
+)
+
+// TestNewParallelMatchesSequential: the sharded π computation must be
+// bit-identical to the sequential one for every worker count (same Pow
+// per node, same sequential Z).
+func TestNewParallelMatchesSequential(t *testing.T) {
+	g := gen.BarabasiAlbert(3000, 3, 1)
+	targets := []graph.NodeID{0, 10, 20}
+	ref, err := New(g, targets, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, 4, 8} {
+		got, err := NewParallel(g, targets, 1.5, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got.Z != ref.Z {
+			t.Fatalf("workers=%d: Z=%v != %v", w, got.Z, ref.Z)
+		}
+		for u := range ref.Pi {
+			if math.Float64bits(got.Pi[u]) != math.Float64bits(ref.Pi[u]) {
+				t.Fatalf("workers=%d: Pi[%d]=%v != %v", w, u, got.Pi[u], ref.Pi[u])
+			}
+		}
+	}
+}

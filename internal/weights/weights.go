@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"pegasus/internal/graph"
+	"pegasus/internal/par"
 )
 
 // Weights holds the per-node personalized weights for one (T, α) choice.
@@ -36,6 +37,15 @@ type Weights struct {
 // plus one hop (they are "infinitely far"; using diameter+1 keeps weights
 // positive and the cost function finite).
 func New(g *graph.Graph, targets []graph.NodeID, alpha float64) (*Weights, error) {
+	return NewParallel(g, targets, alpha, 1)
+}
+
+// NewParallel is New with the per-node π = α^{−D(u,T)} exponentiation
+// range-sharded across the given number of workers (0 = GOMAXPROCS). Each
+// node's weight is computed independently, so the result is bit-identical
+// for any worker count; the BFS and the Z normalizer (whose floating-point
+// sum is order-sensitive) stay sequential.
+func NewParallel(g *graph.Graph, targets []graph.NodeID, alpha float64, workers int) (*Weights, error) {
 	n := g.NumNodes()
 	if alpha < 1 {
 		return nil, fmt.Errorf("weights: alpha must be >= 1, got %v", alpha)
@@ -61,12 +71,15 @@ func New(g *graph.Graph, targets []graph.NodeID, alpha float64) (*Weights, error
 			maxD = d
 		}
 	}
-	for u, d := range w.dist {
-		if d == graph.Unreached {
-			d = maxD + 1
+	par.Range(workers, n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			d := w.dist[u]
+			if d == graph.Unreached {
+				d = maxD + 1
+			}
+			w.Pi[u] = math.Pow(alpha, -float64(d))
 		}
-		w.Pi[u] = math.Pow(alpha, -float64(d))
-	}
+	})
 	w.Z = normalizer(w.Pi)
 	return w, nil
 }

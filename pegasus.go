@@ -1,6 +1,7 @@
 package pegasus
 
 import (
+	"context"
 	"io"
 
 	"pegasus/internal/core"
@@ -73,8 +74,16 @@ func ComputeGraphStats(g *Graph) GraphStats { return graph.ComputeStats(g) }
 func LargestComponent(g *Graph) (*Graph, []NodeID) { return graph.LargestComponent(g) }
 
 // Summarize runs PeGaSus (Alg. 1 of the paper) and returns a summary graph
-// personalized to cfg.Targets within the bit budget.
+// personalized to cfg.Targets within the bit budget. cfg.Workers bounds the
+// parallel build pipeline (0 = GOMAXPROCS); every worker count produces
+// bit-identical summaries for a fixed seed.
 func Summarize(g *Graph, cfg Config) (*Result, error) { return core.Summarize(g, cfg) }
+
+// SummarizeCtx is Summarize with cooperative cancellation: the engine
+// checks ctx between candidate groups and aborts with ctx.Err().
+func SummarizeCtx(ctx context.Context, g *Graph, cfg Config) (*Result, error) {
+	return core.SummarizeCtx(ctx, g, cfg)
+}
 
 // SummarizeNonPersonalized runs PeGaSus with T = V: the objective reduces to
 // the plain reconstruction error while keeping the adaptive search.
@@ -85,6 +94,11 @@ func SummarizeNonPersonalized(g *Graph, cfg Config) (*Result, error) {
 // SummarizeSSumM runs the SSumM baseline (Lee et al., KDD 2020): the
 // non-personalized state of the art PeGaSus is built on (§III-G).
 func SummarizeSSumM(g *Graph, cfg SSumMConfig) (*Result, error) { return ssumm.Summarize(g, cfg) }
+
+// SummarizeSSumMCtx is SummarizeSSumM with cooperative cancellation.
+func SummarizeSSumMCtx(ctx context.Context, g *Graph, cfg SSumMConfig) (*Result, error) {
+	return ssumm.SummarizeCtx(ctx, g, cfg)
+}
 
 // LoadSummary reads a summary graph written by Summary.SaveFile.
 func LoadSummary(path string) (*Summary, error) { return summary.LoadFile(path) }
