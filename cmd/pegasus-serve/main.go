@@ -11,6 +11,7 @@
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/query/rwr -d '{"node": 42}'
 //	curl -s -X POST localhost:8080/v1/query/topk -d '{"node": 42, "k": 5}'
+//	curl -s -X POST localhost:8080/v1/query/batch -d '{"kind": "rwr", "nodes": [1, 2, 42]}'
 //	curl -s localhost:8080/metrics
 package main
 
@@ -44,6 +45,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "random seed for partitioning and summarization")
 		cache    = flag.Int("cache", 4096, "query-result cache entries (negative disables)")
 		workers  = flag.Int("workers", 0, "concurrent query computations (0 = GOMAXPROCS)")
+		batchMax = flag.Int("batch-max", 256, "max query nodes per POST /v1/query/batch request")
 		bworkers = flag.Int("build-workers", 0, "build-pipeline goroutines for startup and hot rebuilds (0 = GOMAXPROCS, 1 = sequential; artifact is identical either way)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-query timeout")
 	)
@@ -79,6 +81,7 @@ func main() {
 		Seed:            *seed,
 		CacheEntries:    *cache,
 		Workers:         *workers,
+		BatchMax:        *batchMax,
 		BuildWorkers:    *bworkers,
 		QueryTimeout:    *timeout,
 	}

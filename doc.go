@@ -46,6 +46,24 @@
 // (Omit -graph to serve a generated SBM graph.) Programmatic use goes
 // through Serve / NewServer with a ServerConfig.
 //
+// # Batch queries
+//
+// Serving workloads are multi-query (§IV/§V: one summary answers many
+// queries), so the daemon also takes a whole vector of query nodes in one
+// round-trip — one kind, shared parameters, per-item results and errors:
+//
+//	curl -s -X POST localhost:8080/v1/query/batch \
+//	  -d '{"kind": "rwr", "nodes": [1, 2, 42], "restart": 0.1}'
+//
+// The server routes the vector in one pass, answers per-shard groups
+// concurrently, and amortizes the per-query precompute through a shared
+// evaluation session. The same amortization is available in-process:
+//
+//	scores, _ := pegasus.SummaryRWRBatch(s, []pegasus.NodeID{1, 2, 42}, pegasus.RWRConfig{})
+//	sess := pegasus.NewSummaryQuerySession(s) // or drive a session directly
+//	a, _ := sess.RWR(1, pegasus.RWRConfig{})
+//	b, _ := sess.PHP(2, pegasus.PHPConfig{})
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package pegasus

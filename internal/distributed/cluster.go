@@ -50,6 +50,17 @@ func (m *Machine) Oracle() queries.Oracle {
 	return queries.GraphOracle{G: m.Subgraph}
 }
 
+// NewSession returns a query session over the machine's artifact, sharing
+// the per-query precompute (weighted degrees, self-loop weights) and
+// iteration scratch across the queries of a batch. Not safe for concurrent
+// use; create one per batch goroutine.
+func (m *Machine) NewSession() queries.Session {
+	if m.Summary != nil {
+		return queries.NewSummarySession(m.Summary)
+	}
+	return queries.NewSession(queries.GraphOracle{G: m.Subgraph})
+}
+
 // RWR answers a random-walk-with-restart query on the machine's artifact.
 func (m *Machine) RWR(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error) {
 	if m.Summary != nil {

@@ -2,7 +2,6 @@ package queries
 
 import (
 	"context"
-	"fmt"
 
 	"pegasus/internal/graph"
 	"pegasus/internal/summary"
@@ -36,53 +35,10 @@ func (c PHPConfig) withDefaults() PHPConfig {
 
 // PHP computes penalized hitting probabilities w.r.t. query node q [45],
 // [46]: PHP_q = 1 and PHP_u = c · Σ_{v∈N_u} (w_uv/w_u)·PHP_v for u ≠ q,
-// solved by Jacobi fixed-point iteration over any Oracle.
+// solved by Jacobi fixed-point iteration over any Oracle. For many queries
+// on one artifact, a Session shares the weighted-degree precompute.
 func PHP(o Oracle, q graph.NodeID, cfg PHPConfig) ([]float64, error) {
-	cfg = cfg.withDefaults()
-	n := o.NumNodes()
-	if int(q) >= n {
-		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
-	}
-	wdeg := make([]float64, n)
-	for u := 0; u < n; u++ {
-		o.ForEachNeighbor(graph.NodeID(u), func(_ graph.NodeID, w float64) {
-			wdeg[u] += w
-		})
-	}
-	p := make([]float64, n)
-	next := make([]float64, n)
-	p[q] = 1
-	for iter := 0; iter < cfg.MaxIter; iter++ {
-		if err := ctxErr(cfg.Ctx); err != nil {
-			return nil, err
-		}
-		delta := 0.0
-		for u := 0; u < n; u++ {
-			if graph.NodeID(u) == q {
-				next[u] = 1
-				continue
-			}
-			if wdeg[u] == 0 {
-				next[u] = 0
-				continue
-			}
-			sum := 0.0
-			o.ForEachNeighbor(graph.NodeID(u), func(v graph.NodeID, w float64) {
-				sum += w * p[v]
-			})
-			next[u] = cfg.C * sum / wdeg[u]
-			if d := next[u] - p[u]; d > delta {
-				delta = d
-			} else if -d > delta {
-				delta = -d
-			}
-		}
-		p, next = next, p
-		if delta < cfg.Eps {
-			break
-		}
-	}
-	return p, nil
+	return NewSession(o).PHP(q, cfg)
 }
 
 // GraphPHP answers PHP exactly on the input graph.
@@ -92,75 +48,8 @@ func GraphPHP(g *graph.Graph, q graph.NodeID, cfg PHPConfig) ([]float64, error) 
 
 // SummaryPHP answers PHP on a summary graph with per-iteration cost
 // O(|V|+|P|), aggregating PHP mass per supernode (reconstructed adjacency is
-// block-constant, as in SummaryRWR).
+// block-constant, as in SummaryRWR). For many queries on one summary,
+// NewSummarySession shares the precompute across calls.
 func SummaryPHP(s *summary.Summary, q graph.NodeID, cfg PHPConfig) ([]float64, error) {
-	cfg = cfg.withDefaults()
-	n := s.NumNodes()
-	if int(q) >= n {
-		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
-	}
-	ns := s.NumSupernodes()
-	wdeg := make([]float64, n)
-	selfW := make([]float64, ns)
-	for a := 0; a < ns; a++ {
-		var aw float64
-		s.ForEachSuperNeighbor(uint32(a), func(b uint32, w float64) {
-			cnt := len(s.Members(b))
-			if b == uint32(a) {
-				selfW[a] = w
-				cnt--
-			}
-			aw += w * float64(cnt)
-		})
-		for _, u := range s.Members(uint32(a)) {
-			wdeg[u] = aw
-		}
-	}
-
-	p := make([]float64, n)
-	next := make([]float64, n)
-	sumPHP := make([]float64, ns)  // Σ_{v∈A} p[v]
-	superIn := make([]float64, ns) // Σ_{B adj A} w_AB · sumPHP_B
-	p[q] = 1
-	for iter := 0; iter < cfg.MaxIter; iter++ {
-		if err := ctxErr(cfg.Ctx); err != nil {
-			return nil, err
-		}
-		for a := range sumPHP {
-			sumPHP[a] = 0
-		}
-		for u := 0; u < n; u++ {
-			sumPHP[s.Supernode(graph.NodeID(u))] += p[u]
-		}
-		for a := 0; a < ns; a++ {
-			superIn[a] = 0
-			s.ForEachSuperNeighbor(uint32(a), func(b uint32, w float64) {
-				superIn[a] += w * sumPHP[b]
-			})
-		}
-		delta := 0.0
-		for u := 0; u < n; u++ {
-			if graph.NodeID(u) == q {
-				next[u] = 1
-				continue
-			}
-			if wdeg[u] == 0 {
-				next[u] = 0
-				continue
-			}
-			su := s.Supernode(graph.NodeID(u))
-			in := superIn[su] - selfW[su]*p[u]
-			next[u] = cfg.C * in / wdeg[u]
-			if d := next[u] - p[u]; d > delta {
-				delta = d
-			} else if -d > delta {
-				delta = -d
-			}
-		}
-		p, next = next, p
-		if delta < cfg.Eps {
-			break
-		}
-	}
-	return p, nil
+	return NewSummarySession(s).PHP(q, cfg)
 }

@@ -2,7 +2,6 @@ package queries
 
 import (
 	"context"
-	"fmt"
 
 	"pegasus/internal/graph"
 	"pegasus/internal/summary"
@@ -39,66 +38,10 @@ func (c RWRConfig) withDefaults() RWRConfig {
 // to a (weight-proportional) random neighbor, otherwise it restarts at q.
 // Dead-end mass is redirected to q, keeping the vector stochastic. This is
 // the generic implementation of Alg. 6; use SummaryRWR for the
-// block-accelerated equivalent on summaries.
+// block-accelerated equivalent on summaries, and a Session (or RWRBatch)
+// to amortize the weighted-degree precompute over many queries.
 func RWR(o Oracle, q graph.NodeID, cfg RWRConfig) ([]float64, error) {
-	cfg = cfg.withDefaults()
-	n := o.NumNodes()
-	if int(q) >= n {
-		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
-	}
-	c := 1 - cfg.Restart
-
-	wdeg := make([]float64, n)
-	for u := 0; u < n; u++ {
-		o.ForEachNeighbor(graph.NodeID(u), func(_ graph.NodeID, w float64) {
-			wdeg[u] += w
-		})
-	}
-
-	r := make([]float64, n)
-	next := make([]float64, n)
-	for i := range r {
-		r[i] = 1 / float64(n)
-	}
-	for iter := 0; iter < cfg.MaxIter; iter++ {
-		if err := ctxErr(cfg.Ctx); err != nil {
-			return nil, err
-		}
-		for i := range next {
-			next[i] = 0
-		}
-		dead := 0.0
-		for u := 0; u < n; u++ {
-			if r[u] == 0 {
-				continue
-			}
-			if wdeg[u] == 0 {
-				dead += r[u]
-				continue
-			}
-			share := r[u] / wdeg[u]
-			o.ForEachNeighbor(graph.NodeID(u), func(v graph.NodeID, w float64) {
-				next[v] += share * w
-			})
-		}
-		delta := 0.0
-		for i := range next {
-			next[i] *= c
-		}
-		next[q] += cfg.Restart + c*dead
-		for i := range next {
-			d := next[i] - r[i]
-			if d < 0 {
-				d = -d
-			}
-			delta += d
-		}
-		r, next = next, r
-		if delta < cfg.Eps {
-			break
-		}
-	}
-	return r, nil
+	return NewSession(o).RWR(q, cfg)
 }
 
 // GraphRWR answers RWR exactly on the input graph (the ground truth of the
@@ -110,85 +53,8 @@ func GraphRWR(g *graph.Graph, q graph.NodeID, cfg RWRConfig) ([]float64, error) 
 // SummaryRWR answers RWR on a summary graph without expanding reconstructed
 // neighborhoods: since the reconstructed adjacency is block-constant, the
 // transition aggregates per supernode, costing O(|V|+|P|) per iteration
-// instead of O(|Ê|).
+// instead of O(|Ê|). For many queries on one summary, NewSummarySession
+// shares the precompute across calls.
 func SummaryRWR(s *summary.Summary, q graph.NodeID, cfg RWRConfig) ([]float64, error) {
-	cfg = cfg.withDefaults()
-	n := s.NumNodes()
-	if int(q) >= n {
-		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
-	}
-	c := 1 - cfg.Restart
-	ns := s.NumSupernodes()
-
-	// Precompute weighted reconstructed degrees and self-loop weights.
-	wdeg := make([]float64, n)
-	selfW := make([]float64, ns)
-	for a := 0; a < ns; a++ {
-		var aw float64
-		s.ForEachSuperNeighbor(uint32(a), func(b uint32, w float64) {
-			cnt := len(s.Members(b))
-			if b == uint32(a) {
-				selfW[a] = w
-				cnt-- // a member is not its own neighbor
-			}
-			aw += w * float64(cnt)
-		})
-		for _, u := range s.Members(uint32(a)) {
-			wdeg[u] = aw
-		}
-	}
-
-	r := make([]float64, n)
-	next := make([]float64, n)
-	mass := make([]float64, ns)    // Σ_{u∈A} r[u]/wdeg[u]
-	superIn := make([]float64, ns) // Σ_{B adj A} w_AB · mass_B
-	for i := range r {
-		r[i] = 1 / float64(n)
-	}
-	for iter := 0; iter < cfg.MaxIter; iter++ {
-		if err := ctxErr(cfg.Ctx); err != nil {
-			return nil, err
-		}
-		dead := 0.0
-		for a := range mass {
-			mass[a] = 0
-		}
-		for u := 0; u < n; u++ {
-			if wdeg[u] == 0 {
-				dead += r[u]
-				continue
-			}
-			mass[s.Supernode(graph.NodeID(u))] += r[u] / wdeg[u]
-		}
-		for a := 0; a < ns; a++ {
-			superIn[a] = 0
-		}
-		for a := 0; a < ns; a++ {
-			s.ForEachSuperNeighbor(uint32(a), func(b uint32, w float64) {
-				superIn[a] += w * mass[b]
-			})
-		}
-		delta := 0.0
-		for u := 0; u < n; u++ {
-			su := s.Supernode(graph.NodeID(u))
-			in := superIn[su]
-			if selfW[su] > 0 && wdeg[u] > 0 {
-				in -= selfW[su] * (r[u] / wdeg[u]) // u is not its own neighbor
-			}
-			next[u] = c * in
-		}
-		next[q] += cfg.Restart + c*dead
-		for i := range next {
-			d := next[i] - r[i]
-			if d < 0 {
-				d = -d
-			}
-			delta += d
-		}
-		r, next = next, r
-		if delta < cfg.Eps {
-			break
-		}
-	}
-	return r, nil
+	return NewSummarySession(s).RWR(q, cfg)
 }

@@ -1,0 +1,364 @@
+package queries
+
+import (
+	"fmt"
+
+	"pegasus/internal/graph"
+	"pegasus/internal/summary"
+)
+
+// Session answers repeated RWR and PHP queries over one artifact while
+// sharing the query-independent work across calls: the weighted-degree
+// vector (and, on summaries, the per-supernode self-loop weights) is
+// computed once on first use, and the iteration scratch buffers are reused
+// instead of reallocated per query. A batch of B queries therefore costs
+// one precompute scan plus B iteration runs, where the plain entry points
+// (RWR, SummaryRWR, ...) pay the scan B times — the amortization the
+// paper's multi-query serving workloads (§IV, §V) rely on.
+//
+// Each call returns a freshly allocated result vector, so results outlive
+// the session. Sessions are NOT safe for concurrent use; create one per
+// goroutine (they are cheap until first use).
+type Session interface {
+	// RWR answers random walk with restart w.r.t. q (Alg. 6).
+	RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error)
+	// PHP answers penalized hitting probability w.r.t. q.
+	PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error)
+}
+
+// NewSession returns a Session over any Oracle, running the generic
+// (neighborhood-query) implementations of RWR and PHP.
+func NewSession(o Oracle) Session { return &oracleSession{o: o} }
+
+// NewSummarySession returns a Session over a summary graph, running the
+// block-accelerated implementations (O(|V|+|P|) per iteration).
+func NewSummarySession(s *summary.Summary) Session { return &summarySession{s: s} }
+
+// RWRBatch answers RWR for every node of qs through one shared Session.
+// Results are in qs order. The first failing node aborts the batch; callers
+// needing partial results should drive a Session directly.
+func RWRBatch(o Oracle, qs []graph.NodeID, cfg RWRConfig) ([][]float64, error) {
+	return rwrBatch(NewSession(o), qs, cfg)
+}
+
+// SummaryRWRBatch is RWRBatch over the block-accelerated summary evaluator.
+func SummaryRWRBatch(s *summary.Summary, qs []graph.NodeID, cfg RWRConfig) ([][]float64, error) {
+	return rwrBatch(NewSummarySession(s), qs, cfg)
+}
+
+func rwrBatch(sess Session, qs []graph.NodeID, cfg RWRConfig) ([][]float64, error) {
+	out := make([][]float64, len(qs))
+	for i, q := range qs {
+		r, err := sess.RWR(q, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("queries: batch item %d (node %d): %w", i, q, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// oracleSession runs the generic implementations with shared wdeg and
+// scratch. v1/v2 are the two |V|-sized iteration vectors; every query fully
+// (re)initializes the parts of them it reads.
+type oracleSession struct {
+	o      Oracle
+	wdeg   []float64
+	v1, v2 []float64
+}
+
+func (s *oracleSession) init() {
+	if s.wdeg != nil {
+		return
+	}
+	n := s.o.NumNodes()
+	s.wdeg = make([]float64, n)
+	for u := 0; u < n; u++ {
+		s.o.ForEachNeighbor(graph.NodeID(u), func(_ graph.NodeID, w float64) {
+			s.wdeg[u] += w
+		})
+	}
+	s.v1 = make([]float64, n)
+	s.v2 = make([]float64, n)
+}
+
+func (s *oracleSession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	n := s.o.NumNodes()
+	if int(q) >= n {
+		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
+	}
+	s.init()
+	c := 1 - cfg.Restart
+	// Hot-loop locals re-sliced to n so the compiler can elide bounds
+	// checks exactly as it did when these were freshly made slices.
+	wdeg := s.wdeg[:n]
+	r, next := s.v1[:n], s.v2[:n]
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
+		for i := range next {
+			next[i] = 0
+		}
+		dead := 0.0
+		for u := 0; u < n; u++ {
+			if r[u] == 0 {
+				continue
+			}
+			if wdeg[u] == 0 {
+				dead += r[u]
+				continue
+			}
+			share := r[u] / wdeg[u]
+			s.o.ForEachNeighbor(graph.NodeID(u), func(v graph.NodeID, w float64) {
+				next[v] += share * w
+			})
+		}
+		delta := 0.0
+		for i := range next {
+			next[i] *= c
+		}
+		next[q] += cfg.Restart + c*dead
+		for i := range next {
+			d := next[i] - r[i]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		r, next = next, r
+		if delta < cfg.Eps {
+			break
+		}
+	}
+	out := make([]float64, n)
+	copy(out, r)
+	return out, nil
+}
+
+func (s *oracleSession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	n := s.o.NumNodes()
+	if int(q) >= n {
+		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
+	}
+	s.init()
+	// Hot-loop locals re-sliced to n for bounds-check elimination.
+	wdeg := s.wdeg[:n]
+	p, next := s.v1[:n], s.v2[:n]
+	for i := range p {
+		p[i] = 0
+	}
+	p[q] = 1
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
+		delta := 0.0
+		for u := 0; u < n; u++ {
+			if graph.NodeID(u) == q {
+				next[u] = 1
+				continue
+			}
+			if wdeg[u] == 0 {
+				next[u] = 0
+				continue
+			}
+			sum := 0.0
+			s.o.ForEachNeighbor(graph.NodeID(u), func(v graph.NodeID, w float64) {
+				sum += w * p[v]
+			})
+			next[u] = cfg.C * sum / wdeg[u]
+			if d := next[u] - p[u]; d > delta {
+				delta = d
+			} else if -d > delta {
+				delta = -d
+			}
+		}
+		p, next = next, p
+		if delta < cfg.Eps {
+			break
+		}
+	}
+	out := make([]float64, n)
+	copy(out, p)
+	return out, nil
+}
+
+// summarySession runs the block-accelerated implementations with shared
+// precompute. wdeg/selfW depend only on the summary (not on the query node
+// or parameters), so they are computed exactly once per session. v1/v2 are
+// |V|-sized iteration vectors, s1/s2 the per-supernode aggregates (the
+// mass/sum and in-flow vectors); every query fully (re)initializes what it
+// reads.
+type summarySession struct {
+	s           *summary.Summary
+	wdeg, selfW []float64
+	v1, v2      []float64
+	s1, s2      []float64
+}
+
+func (ss *summarySession) init() {
+	if ss.wdeg != nil {
+		return
+	}
+	n := ss.s.NumNodes()
+	ns := ss.s.NumSupernodes()
+	ss.wdeg = make([]float64, n)
+	ss.selfW = make([]float64, ns)
+	for a := 0; a < ns; a++ {
+		var aw float64
+		ss.s.ForEachSuperNeighbor(uint32(a), func(b uint32, w float64) {
+			cnt := len(ss.s.Members(b))
+			if b == uint32(a) {
+				ss.selfW[a] = w
+				cnt-- // a member is not its own neighbor
+			}
+			aw += w * float64(cnt)
+		})
+		for _, u := range ss.s.Members(uint32(a)) {
+			ss.wdeg[u] = aw
+		}
+	}
+	ss.v1 = make([]float64, n)
+	ss.v2 = make([]float64, n)
+	ss.s1 = make([]float64, ns)
+	ss.s2 = make([]float64, ns)
+}
+
+func (ss *summarySession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	s := ss.s
+	n := s.NumNodes()
+	if int(q) >= n {
+		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
+	}
+	ss.init()
+	c := 1 - cfg.Restart
+	ns := s.NumSupernodes()
+	// Hot-loop locals re-sliced to their lengths so the compiler can elide
+	// bounds checks exactly as it did when these were freshly made slices.
+	wdeg, selfW := ss.wdeg[:n], ss.selfW[:ns]
+	r, next := ss.v1[:n], ss.v2[:n]
+	mass := ss.s1[:ns]    // Σ_{u∈A} r[u]/wdeg[u]
+	superIn := ss.s2[:ns] // Σ_{B adj A} w_AB · mass_B
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
+		dead := 0.0
+		for a := range mass {
+			mass[a] = 0
+		}
+		for u := 0; u < n; u++ {
+			if wdeg[u] == 0 {
+				dead += r[u]
+				continue
+			}
+			mass[s.Supernode(graph.NodeID(u))] += r[u] / wdeg[u]
+		}
+		for a := 0; a < ns; a++ {
+			superIn[a] = 0
+		}
+		for a := 0; a < ns; a++ {
+			s.ForEachSuperNeighbor(uint32(a), func(b uint32, w float64) {
+				superIn[a] += w * mass[b]
+			})
+		}
+		delta := 0.0
+		for u := 0; u < n; u++ {
+			su := s.Supernode(graph.NodeID(u))
+			in := superIn[su]
+			if selfW[su] > 0 && wdeg[u] > 0 {
+				in -= selfW[su] * (r[u] / wdeg[u]) // u is not its own neighbor
+			}
+			next[u] = c * in
+		}
+		next[q] += cfg.Restart + c*dead
+		for i := range next {
+			d := next[i] - r[i]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		r, next = next, r
+		if delta < cfg.Eps {
+			break
+		}
+	}
+	out := make([]float64, n)
+	copy(out, r)
+	return out, nil
+}
+
+func (ss *summarySession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	s := ss.s
+	n := s.NumNodes()
+	if int(q) >= n {
+		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
+	}
+	ss.init()
+	ns := s.NumSupernodes()
+	// Hot-loop locals re-sliced to their lengths for bounds-check
+	// elimination.
+	wdeg, selfW := ss.wdeg[:n], ss.selfW[:ns]
+	p, next := ss.v1[:n], ss.v2[:n]
+	sumPHP := ss.s1[:ns]  // Σ_{v∈A} p[v]
+	superIn := ss.s2[:ns] // Σ_{B adj A} w_AB · sumPHP_B
+	for i := range p {
+		p[i] = 0
+	}
+	p[q] = 1
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
+		for a := range sumPHP {
+			sumPHP[a] = 0
+		}
+		for u := 0; u < n; u++ {
+			sumPHP[s.Supernode(graph.NodeID(u))] += p[u]
+		}
+		for a := 0; a < ns; a++ {
+			superIn[a] = 0
+			s.ForEachSuperNeighbor(uint32(a), func(b uint32, w float64) {
+				superIn[a] += w * sumPHP[b]
+			})
+		}
+		delta := 0.0
+		for u := 0; u < n; u++ {
+			if graph.NodeID(u) == q {
+				next[u] = 1
+				continue
+			}
+			if wdeg[u] == 0 {
+				next[u] = 0
+				continue
+			}
+			su := s.Supernode(graph.NodeID(u))
+			in := superIn[su] - selfW[su]*p[u]
+			next[u] = cfg.C * in / wdeg[u]
+			if d := next[u] - p[u]; d > delta {
+				delta = d
+			} else if -d > delta {
+				delta = -d
+			}
+		}
+		p, next = next, p
+		if delta < cfg.Eps {
+			break
+		}
+	}
+	out := make([]float64, n)
+	copy(out, p)
+	return out, nil
+}

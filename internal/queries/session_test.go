@@ -1,0 +1,153 @@
+package queries
+
+import (
+	"testing"
+
+	"pegasus/internal/gen"
+	"pegasus/internal/graph"
+	"pegasus/internal/summary"
+)
+
+func sessionTestGraph(t *testing.T) (*graph.Graph, *summary.Summary) {
+	t.Helper()
+	g := gen.PlantedPartition(gen.SBMConfig{
+		Nodes: 120, Communities: 3, AvgDegree: 8, MixingP: 0.1,
+	}, 41)
+	s := summary.Identity(g)
+	return g, s
+}
+
+// TestSessionMatchesPlainCalls: a session answering many queries back to
+// back must return exactly (bit-identical, not approximately) what the
+// plain one-shot entry points return — scratch reuse must not leak state
+// between queries, and the shared wdeg precompute must not change results.
+func TestSessionMatchesPlainCalls(t *testing.T) {
+	g, s := sessionTestGraph(t)
+	o := GraphOracle{g}
+
+	oSess := NewSession(o)
+	sSess := NewSummarySession(s)
+	rcfg := RWRConfig{}
+	pcfg := PHPConfig{}
+	for _, q := range []graph.NodeID{0, 7, 7, 31, 119} {
+		gotR, err := oSess.RWR(q, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR, err := RWR(o, q, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactEqual(t, "oracle RWR", q, gotR, wantR)
+
+		// Interleave PHP on the same session: the buffers are shared across
+		// the two query types, so this exercises cross-query contamination.
+		gotP, err := oSess.PHP(q, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantP, err := PHP(o, q, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactEqual(t, "oracle PHP", q, gotP, wantP)
+
+		gotSR, err := sSess.RWR(q, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSR, err := SummaryRWR(s, q, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactEqual(t, "summary RWR", q, gotSR, wantSR)
+
+		gotSP, err := sSess.PHP(q, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSP, err := SummaryPHP(s, q, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactEqual(t, "summary PHP", q, gotSP, wantSP)
+	}
+}
+
+func assertExactEqual(t *testing.T, label string, q graph.NodeID, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s q=%d: length %d, want %d", label, q, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s q=%d: index %d = %g, want %g (session diverged from one-shot)",
+				label, q, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSessionResultsOutliveSession: each call must return an independent
+// vector; a later query on the same session must not mutate an earlier
+// result.
+func TestSessionResultsOutliveSession(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	sess := NewSession(GraphOracle{g})
+	first, err := sess.RWR(3, RWRConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64(nil), first...)
+	if _, err := sess.RWR(99, RWRConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range snapshot {
+		if first[i] != snapshot[i] {
+			t.Fatalf("result aliased session scratch: index %d changed %g -> %g",
+				i, snapshot[i], first[i])
+		}
+	}
+}
+
+func TestRWRBatchMatchesSingles(t *testing.T) {
+	g, s := sessionTestGraph(t)
+	qs := []graph.NodeID{5, 0, 5, 60, 119}
+	cfg := RWRConfig{Eps: 1e-12, MaxIter: 20}
+
+	got, err := RWRBatch(GraphOracle{g}, qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := RWR(GraphOracle{g}, q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactEqual(t, "RWRBatch", q, got[i], want)
+	}
+
+	gotS, err := SummaryRWRBatch(s, qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := SummaryRWR(s, q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactEqual(t, "SummaryRWRBatch", q, gotS[i], want)
+	}
+}
+
+func TestSessionOutOfRange(t *testing.T) {
+	g, s := sessionTestGraph(t)
+	if _, err := NewSession(GraphOracle{g}).RWR(graph.NodeID(g.NumNodes()), RWRConfig{}); err == nil {
+		t.Error("oracle session accepted an out-of-range query node")
+	}
+	if _, err := NewSummarySession(s).PHP(graph.NodeID(g.NumNodes()), PHPConfig{}); err == nil {
+		t.Error("summary session accepted an out-of-range query node")
+	}
+	if _, err := RWRBatch(GraphOracle{g}, []graph.NodeID{1, graph.NodeID(g.NumNodes())}, RWRConfig{}); err == nil {
+		t.Error("RWRBatch accepted an out-of-range query node")
+	}
+}

@@ -24,9 +24,13 @@ type backend interface {
 	shard(q graph.NodeID) (int, error)
 	// reports describes each shard's summary artifact.
 	reports() []summary.Report
-	rwr(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error)
+	// session returns a query session over the given shard's artifact. A
+	// session shares the RWR/PHP precompute (weighted degrees) and iteration
+	// scratch across calls — the amortization the batch endpoint exploits —
+	// and is NOT safe for concurrent use; callers create one per goroutine
+	// (cheap until first use).
+	session(shard int) (queries.Session, error)
 	hop(q graph.NodeID) ([]int32, error)
-	php(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error)
 	// pagerank runs over the artifact of the given shard.
 	pagerank(shard int, cfg queries.PageRankConfig) ([]float64, error)
 }
@@ -47,16 +51,12 @@ func (b *summaryBackend) shard(q graph.NodeID) (int, error) {
 	return 0, nil
 }
 
-func (b *summaryBackend) rwr(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error) {
-	return queries.SummaryRWR(b.s, q, cfg)
+func (b *summaryBackend) session(int) (queries.Session, error) {
+	return queries.NewSummarySession(b.s), nil
 }
 
 func (b *summaryBackend) hop(q graph.NodeID) ([]int32, error) {
 	return queries.SummaryHOP(b.s, q)
-}
-
-func (b *summaryBackend) php(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error) {
-	return queries.SummaryPHP(b.s, q, cfg)
 }
 
 func (b *summaryBackend) pagerank(_ int, cfg queries.PageRankConfig) ([]float64, error) {
@@ -90,12 +90,11 @@ func (b *clusterBackend) reports() []summary.Report {
 	return out
 }
 
-func (b *clusterBackend) rwr(q graph.NodeID, cfg queries.RWRConfig) ([]float64, error) {
-	m, err := b.c.RouteMachine(q)
-	if err != nil {
-		return nil, err
+func (b *clusterBackend) session(shard int) (queries.Session, error) {
+	if shard < 0 || shard >= len(b.c.Machines) {
+		return nil, fmt.Errorf("server: shard %d out of range (m=%d)", shard, len(b.c.Machines))
 	}
-	return m.RWR(q, cfg)
+	return b.c.Machines[shard].NewSession(), nil
 }
 
 func (b *clusterBackend) hop(q graph.NodeID) ([]int32, error) {
@@ -104,14 +103,6 @@ func (b *clusterBackend) hop(q graph.NodeID) ([]int32, error) {
 		return nil, err
 	}
 	return m.HOP(q)
-}
-
-func (b *clusterBackend) php(q graph.NodeID, cfg queries.PHPConfig) ([]float64, error) {
-	m, err := b.c.RouteMachine(q)
-	if err != nil {
-		return nil, err
-	}
-	return m.PHP(q, cfg)
 }
 
 func (b *clusterBackend) pagerank(shard int, cfg queries.PageRankConfig) ([]float64, error) {

@@ -37,6 +37,10 @@ type Config struct {
 	// Workers bounds concurrently executing query computations (default
 	// GOMAXPROCS).
 	Workers int
+	// BatchMax bounds the number of query nodes accepted by one
+	// POST /v1/query/batch request (default 256). Larger batches are
+	// rejected with a 400; clients should split them.
+	BatchMax int
 	// BuildWorkers bounds the goroutines used to build the serving artifact
 	// — concurrent per-shard summary builds plus the engine's internal
 	// parallelism — both at startup and on POST /v1/summarize hot rebuilds
@@ -75,14 +79,25 @@ func (c Config) withDefaults() (Config, error) {
 	if c.BudgetRatio == 0 {
 		c.BudgetRatio = 0.5
 	}
-	if c.BudgetRatio < 0 {
-		return c, fmt.Errorf("server: BudgetRatio must be positive, got %v", c.BudgetRatio)
+	// NaN sneaks past plain range checks (NaN < 0 is false) and would poison
+	// the bit budget, so non-finite values are rejected explicitly.
+	if !isFinite(c.BudgetRatio) || c.BudgetRatio < 0 {
+		return c, fmt.Errorf("server: BudgetRatio must be a finite positive value, got %v", c.BudgetRatio)
+	}
+	if !isFinite(c.Alpha) {
+		return c, fmt.Errorf("server: Alpha must be finite, got %v", c.Alpha)
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 4096
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 256
+	}
+	if c.BatchMax < 1 {
+		return c, fmt.Errorf("server: BatchMax must be >= 1 (or 0 for the default 256), got %d", c.BatchMax)
 	}
 	if c.BuildWorkers == 0 {
 		c.BuildWorkers = runtime.GOMAXPROCS(0)

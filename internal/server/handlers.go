@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"time"
@@ -14,56 +15,157 @@ import (
 	"pegasus/internal/summary"
 )
 
-// QueryRequest is the JSON body of POST /v1/query/{kind}. Zero-valued
-// algorithm parameters select the paper defaults (restart 0.05, c 0.95,
-// damping 0.85, ...).
-type QueryRequest struct {
-	// Node is the query node q; for pagerank it only selects the shard.
-	Node uint32 `json:"node"`
-	// K bounds the top-k answer (topk only; default 10).
+// QueryParams are the algorithm parameters shared by the single-query
+// (POST /v1/query/{kind}) and batch (POST /v1/query/batch) endpoints.
+//
+// Float parameters are pointers so that "absent" is distinguishable from an
+// explicit value. This block is the single place the serving layer's
+// default-selection rule is defined:
+//
+//   - absent (or JSON null)           → the paper default listed below;
+//   - explicit, finite, in range      → honored as given;
+//   - explicit 0, NaN, ±Inf, or out
+//     of range                        → rejected with a 400.
+//
+// An explicit zero is rejected rather than honored because the query
+// configs further down the stack (queries.RWRConfig and friends) treat the
+// zero value as "use the default" — a request that says `"restart": 0`
+// would be silently answered with restart 0.05, which is worse than an
+// error. Non-finite values are rejected because NaN defeats range checks
+// (NaN < 0 and NaN > 1 are both false), poisons the power iteration, and
+// is unencodable in the JSON response.
+//
+// The integer parameters K and MaxIter are plain ints: an explicit 0
+// selects the default, exactly like an absent field. That carries no
+// zero-vs-default ambiguity because 0 is not a usable value for either (a
+// top-0 answer and a 0-iteration query are both vacuous).
+//
+// Defaults: restart 0.05 and c 0.95 (§V-A), damping 0.85, eps 1e-9,
+// max_iter 1000 (200 for pagerank), k 10.
+type QueryParams struct {
+	// K bounds the top-k answer (topk only; 0 selects the default 10).
 	K int `json:"k"`
 	// Metric is the score the topk answer ranks by: "rwr" (default), "php"
 	// or "pagerank".
 	Metric string `json:"metric"`
-	// Restart is the RWR restart probability.
-	Restart float64 `json:"restart"`
-	// C is the PHP penalty factor.
-	C float64 `json:"c"`
-	// Damping is the PageRank continuation probability.
-	Damping float64 `json:"damping"`
-	// Eps is the iteration convergence tolerance.
-	Eps float64 `json:"eps"`
-	// MaxIter caps the iterations.
+	// Restart is the RWR restart probability, in (0,1].
+	Restart *float64 `json:"restart"`
+	// C is the PHP penalty factor, in (0,1].
+	C *float64 `json:"c"`
+	// Damping is the PageRank continuation probability, in (0,1].
+	Damping *float64 `json:"damping"`
+	// Eps is the iteration convergence tolerance, > 0.
+	Eps *float64 `json:"eps"`
+	// MaxIter caps the iterations (0 selects the default).
 	MaxIter int `json:"max_iter"`
 }
 
-// maxTopK bounds the k of a topk query: ranking is O(k·|V|) on the handler
-// goroutine, so k must not become a CPU amplification vector.
+// QueryRequest is the JSON body of POST /v1/query/{kind}.
+type QueryRequest struct {
+	// Node is the query node q; for pagerank it only selects the shard.
+	Node uint32 `json:"node"`
+	QueryParams
+}
+
+// maxTopK bounds the k of a topk query: ranking is O(k·|V|), so k must not
+// become a CPU amplification vector (ranking runs on the bounded worker
+// pool, but a slot should not be held for an absurd k either).
 const maxTopK = 1000
 
-// validate range-checks the algorithm parameters. Divergent settings (e.g.
-// a PHP penalty factor > 1) would iterate to ±Inf, which neither the cache
-// nor JSON encoding should ever see. Returns "" when valid.
-func (r QueryRequest) validate() string {
-	if r.Restart < 0 || r.Restart > 1 {
-		return fmt.Sprintf("restart must be in [0,1], got %v", r.Restart)
+// validate range-checks the algorithm parameters per the rule documented on
+// QueryParams. Returns "" when valid.
+func (p QueryParams) validate() string {
+	if msg := checkUnitInterval("restart", p.Restart, 0.05); msg != "" {
+		return msg
 	}
-	if r.C < 0 || r.C > 1 {
-		return fmt.Sprintf("c must be in [0,1], got %v", r.C)
+	if msg := checkUnitInterval("c", p.C, 0.95); msg != "" {
+		return msg
 	}
-	if r.Damping < 0 || r.Damping > 1 {
-		return fmt.Sprintf("damping must be in [0,1], got %v", r.Damping)
+	if msg := checkUnitInterval("damping", p.Damping, 0.85); msg != "" {
+		return msg
 	}
-	if r.Eps < 0 {
-		return fmt.Sprintf("eps must be non-negative, got %v", r.Eps)
+	if p.Eps != nil && (!isFinite(*p.Eps) || *p.Eps <= 0) {
+		return fmt.Sprintf("eps must be a finite positive number (omit it for the default 1e-9), got %v", *p.Eps)
 	}
-	if r.MaxIter < 0 {
-		return fmt.Sprintf("max_iter must be non-negative, got %d", r.MaxIter)
+	if p.MaxIter < 0 {
+		return fmt.Sprintf("max_iter must be non-negative, got %d", p.MaxIter)
 	}
-	if r.K < 0 || r.K > maxTopK {
-		return fmt.Sprintf("k must be in [1,%d], got %d", maxTopK, r.K)
+	if p.K < 0 || p.K > maxTopK {
+		return fmt.Sprintf("k must be in [1,%d], got %d", maxTopK, p.K)
 	}
 	return ""
+}
+
+// checkUnitInterval validates an optional probability-like parameter:
+// absent is fine, an explicit value must be finite and in (0,1].
+func checkUnitInterval(name string, v *float64, def float64) string {
+	if v == nil {
+		return ""
+	}
+	if !isFinite(*v) || *v <= 0 || *v > 1 {
+		return fmt.Sprintf("%s must be in (0,1] (omit it for the default %g), got %v", name, def, *v)
+	}
+	return ""
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// metricFor resolves the effective metric for a query kind: non-topk kinds
+// are their own metric; topk ranks by Metric (default "rwr"). The second
+// return value is a non-empty error message on an unknown topk metric.
+func (p QueryParams) metricFor(kind string) (string, string) {
+	if kind != "topk" {
+		return kind, ""
+	}
+	m := p.Metric
+	if m == "" {
+		m = "rwr"
+	}
+	switch m {
+	case "rwr", "php", "pagerank":
+		return m, ""
+	}
+	return "", fmt.Sprintf("unknown topk metric %q (want rwr, php or pagerank)", p.Metric)
+}
+
+// queryParams is the fully resolved parameter set: every field concrete,
+// defaults applied. Cache keys are built from these, so "absent" and
+// "explicitly the default" share one cache entry.
+type queryParams struct {
+	restart, c, damping, eps float64
+	maxIter, k               int
+}
+
+// resolved applies the defaults documented on QueryParams; metric selects
+// the max_iter default (PageRank defaults to 200 iterations, the power
+// iterations to 1000).
+func (p QueryParams) resolved(metric string) queryParams {
+	r := queryParams{restart: 0.05, c: 0.95, damping: 0.85, eps: 1e-9, maxIter: p.MaxIter, k: p.K}
+	if p.Restart != nil {
+		r.restart = *p.Restart
+	}
+	if p.C != nil {
+		r.c = *p.C
+	}
+	if p.Damping != nil {
+		r.damping = *p.Damping
+	}
+	if p.Eps != nil {
+		r.eps = *p.Eps
+	}
+	if r.maxIter == 0 {
+		if metric == "pagerank" {
+			r.maxIter = 200
+		} else {
+			r.maxIter = 1000
+		}
+	}
+	if r.k == 0 {
+		r.k = 10
+	}
+	return r
 }
 
 // NodeScore is one ranked answer entry.
@@ -84,14 +186,37 @@ type QueryResponse struct {
 	Top        []NodeScore `json:"top,omitempty"`
 }
 
-// SummarizeRequest is the JSON body of POST /v1/summarize. Nil/zero fields
-// keep the current setting; a present-but-empty targets list switches to a
-// non-personalized summary. Targets are ignored on sharded servers (each
-// shard stays personalized to the part it owns).
+// SummarizeRequest is the JSON body of POST /v1/summarize. Absent (or null)
+// fields keep the current setting; a present-but-empty targets list
+// switches to a non-personalized summary. Targets are ignored on sharded
+// servers (each shard stays personalized to the part it owns).
 type SummarizeRequest struct {
-	Targets     *[]uint32 `json:"targets"`
-	BudgetRatio float64   `json:"budget_ratio"`
-	Alpha       float64   `json:"alpha"`
+	Targets *[]uint32 `json:"targets"`
+	// BudgetRatio replaces the per-shard budget when present; it must be a
+	// finite positive fraction of Size(G). An explicit 0 is rejected (it is
+	// not a usable budget); omit the field to keep the current setting.
+	BudgetRatio *float64 `json:"budget_ratio"`
+	// Alpha replaces the degree of personalization when present; it must be
+	// finite and >= 1. Omit the field to keep the current setting.
+	Alpha *float64 `json:"alpha"`
+}
+
+// validate range-checks a re-summarize request. An absent field keeps the
+// current value; an explicit 0 is not a usable budget (and alpha < 1 is not
+// a valid personalization degree), so both are rejected rather than
+// silently treated as "keep current" — the pre-fix behavior the old "must
+// be positive" message contradicted. Returns "" when valid.
+func (r SummarizeRequest) validate() string {
+	if r.BudgetRatio != nil && (!isFinite(*r.BudgetRatio) || *r.BudgetRatio <= 0) {
+		return fmt.Sprintf(
+			"budget_ratio must be a finite positive fraction of Size(G) (omit it to keep the current setting), got %v",
+			*r.BudgetRatio)
+	}
+	if r.Alpha != nil && (!isFinite(*r.Alpha) || *r.Alpha < 1) {
+		return fmt.Sprintf(
+			"alpha must be finite and >= 1 (omit it to keep the current setting), got %v", *r.Alpha)
+	}
+	return ""
 }
 
 // ReportResponse is the JSON answer of GET /v1/summary/report and
@@ -109,6 +234,9 @@ type errorResponse struct {
 // it on any HTTP server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// The literal /v1/query/batch pattern is more specific than the {kind}
+	// wildcard, so batch requests never reach handleQuery.
+	mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/query/{kind}", s.handleQuery)
 	mux.HandleFunc("GET /v1/summary/report", s.handleReport)
 	mux.HandleFunc("POST /v1/summarize", s.handleSummarize)
@@ -146,7 +274,7 @@ func endpointLabel(r *http.Request) string {
 		// grow the metrics map with arbitrary path suffixes.
 		kind := strings.TrimPrefix(p, "/v1/query/")
 		switch kind {
-		case "rwr", "hop", "php", "pagerank", "topk":
+		case "rwr", "hop", "php", "pagerank", "topk", "batch":
 			return "query/" + kind
 		}
 		return "query/invalid"
@@ -181,15 +309,29 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeQueryError maps a computation error to an HTTP status.
+// writeQueryError maps a computation error to an HTTP status, with the
+// same message queryErrorString gives per-item batch errors.
 func writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "query timed out: %v", err)
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "query cancelled: %v", err)
+		status = http.StatusServiceUnavailable
+	}
+	writeError(w, status, "%s", queryErrorString(err))
+}
+
+// queryErrorString classifies a computation error into the serving layer's
+// client-facing message (used verbatim for per-item batch errors).
+func queryErrorString(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "query timed out: " + err.Error()
+	case errors.Is(err, context.Canceled):
+		return "query cancelled: " + err.Error()
 	default:
-		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return "query failed: " + err.Error()
 	}
 }
 
@@ -217,26 +359,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if msg := req.validate(); msg != "" {
+	metric, msg := req.metricFor(kind)
+	if msg == "" {
+		msg = req.validate()
+	}
+	if msg != "" {
 		writeError(w, http.StatusBadRequest, "%s", msg)
 		return
-	}
-	metric := kind
-	if kind == "topk" {
-		metric = req.Metric
-		if metric == "" {
-			metric = "rwr"
-		}
-		switch metric {
-		case "rwr", "php", "pagerank":
-		default:
-			writeError(w, http.StatusBadRequest,
-				"unknown topk metric %q (want rwr, php or pagerank)", metric)
-			return
-		}
-		if req.K == 0 {
-			req.K = 10
-		}
 	}
 
 	box := s.current()
@@ -252,21 +381,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sess, err := be.session(shard)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	s.metrics.ObserveShard(shard)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
 	defer cancel()
 
-	key, compute := queryPlan(box, be, metric, q, shard, req)
-	val, status, err := s.cache.GetOrCompute(ctx, key, func() (any, error) {
-		var out any
-		runErr := s.pool.Run(ctx, func() error {
-			v, err := compute(ctx)
-			out = v
-			return err
-		})
-		return out, runErr
-	})
+	key, compute := s.plan(box, sess, kind, metric, q, shard, req.resolved(metric))
+	val, status, err := s.cache.GetOrCompute(ctx, key, func() (any, error) { return compute(ctx) })
 	if err != nil {
 		// Errored lookups (timed-out waiters in particular) stay out of the
 		// hit/miss counters, or hit_rate would climb exactly when the server
@@ -283,53 +409,115 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cached:     status == CacheHit,
 		Generation: box.gen,
 	}
-	switch kind {
-	case "hop":
-		resp.Dist = val.([]int32)
-	case "topk":
-		scores := val.([]float64)
-		for _, id := range queries.TopK(scores, req.K) {
-			resp.Top = append(resp.Top, NodeScore{Node: uint32(id), Score: scores[id]})
-		}
-	default:
-		resp.Scores = val.([]float64)
-	}
+	fillResult(&resp.Scores, &resp.Dist, &resp.Top, kind, val)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// queryPlan returns the cache key and compute closure for one query. The
-// key carries the backend generation, so results computed against a
-// replaced backend can never be served after a re-summarize; topk shares
-// the underlying score vector with plain metric queries.
-func queryPlan(box *backendBox, be backend, metric string, q graph.NodeID, shard int, req QueryRequest) (string, func(context.Context) (any, error)) {
+// fillResult routes a computed value into the kind-appropriate response
+// field (shared by the single-query and batch answer shapes).
+func fillResult(scores *[]float64, dist *[]int32, top *[]NodeScore, kind string, val any) {
+	switch kind {
+	case "hop":
+		*dist = val.([]int32)
+	case "topk":
+		*top = val.([]NodeScore)
+	default:
+		*scores = val.([]float64)
+	}
+}
+
+// plan returns the cache key and compute closure for one query. The key
+// carries the backend generation, so results computed against a replaced
+// backend can never be served after a re-summarize.
+//
+// Compute closures acquire the bounded worker pool themselves and must be
+// invoked WITHOUT holding a pool slot: a closure may wait on another
+// in-flight cache computation (topk waits on its score vector), and waiting
+// on a flight whose leader is queued for a slot while holding one would
+// deadlock a size-1 pool. The invariant throughout the serving layer is
+// "never wait on a flight while holding a slot".
+//
+// Sessions passed in are used sequentially by the closure; a closure
+// invocation computes at most one query at a time, so per-goroutine
+// sessions stay single-threaded.
+func (s *Server) plan(box *backendBox, sess queries.Session, kind, metric string, q graph.NodeID, shard int, p queryParams) (string, func(context.Context) (any, error)) {
+	key, compute := s.metricPlan(box, sess, metric, q, shard, p)
+	if kind != "topk" {
+		return key, compute
+	}
+	// topk caches the ranked answer under its own key (repeated identical
+	// topk queries must not re-rank the score vector) while sharing the
+	// underlying scores with plain metric queries through a nested cache
+	// lookup. Ranking runs on the worker pool: O(k·|V|) selection is real
+	// CPU that the pool bound must cap.
+	topkKey := fmt.Sprintf("%s|top%d", key, p.k)
+	return topkKey, func(ctx context.Context) (any, error) {
+		val, _, err := s.cache.GetOrCompute(ctx, key, func() (any, error) { return compute(ctx) })
+		if err != nil {
+			return nil, err
+		}
+		scores := val.([]float64)
+		var top []NodeScore
+		err = s.pool.Run(ctx, func() error {
+			ids := queries.TopK(scores, p.k)
+			top = make([]NodeScore, 0, len(ids))
+			for _, id := range ids {
+				top = append(top, NodeScore{Node: uint32(id), Score: scores[id]})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return top, nil
+	}
+}
+
+// metricPlan returns the cache key and pool-bounded compute closure for one
+// plain metric query (the score/distance vector underlying every kind).
+func (s *Server) metricPlan(box *backendBox, sess queries.Session, metric string, q graph.NodeID, shard int, p queryParams) (string, func(context.Context) (any, error)) {
+	pooled := func(fn func(ctx context.Context) (any, error)) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			var out any
+			err := s.pool.Run(ctx, func() error {
+				v, err := fn(ctx)
+				out = v
+				return err
+			})
+			return out, err
+		}
+	}
 	switch metric {
 	case "hop":
 		return fmt.Sprintf("g%d|hop|n%d", box.gen, q),
-			func(ctx context.Context) (any, error) {
+			pooled(func(ctx context.Context) (any, error) {
 				_ = ctx // BFS is single-pass; bounded by the pool, not the context
-				return be.hop(q)
-			}
+				return box.be.hop(q)
+			})
 	case "php":
-		cfg := queries.PHPConfig{C: req.C, Eps: req.Eps, MaxIter: req.MaxIter}
+		cfg := queries.PHPConfig{C: p.c, Eps: p.eps, MaxIter: p.maxIter}
 		return fmt.Sprintf("g%d|php|n%d|c%g,e%g,i%d", box.gen, q, cfg.C, cfg.Eps, cfg.MaxIter),
-			func(ctx context.Context) (any, error) {
+			pooled(func(ctx context.Context) (any, error) {
+				cfg := cfg
 				cfg.Ctx = ctx
-				return be.php(q, cfg)
-			}
+				return sess.PHP(q, cfg)
+			})
 	case "pagerank":
-		cfg := queries.PageRankConfig{Damping: req.Damping, Eps: req.Eps, MaxIter: req.MaxIter}
+		cfg := queries.PageRankConfig{Damping: p.damping, Eps: p.eps, MaxIter: p.maxIter}
 		return fmt.Sprintf("g%d|pagerank|s%d|d%g,e%g,i%d", box.gen, shard, cfg.Damping, cfg.Eps, cfg.MaxIter),
-			func(ctx context.Context) (any, error) {
+			pooled(func(ctx context.Context) (any, error) {
+				cfg := cfg
 				cfg.Ctx = ctx
-				return be.pagerank(shard, cfg)
-			}
+				return box.be.pagerank(shard, cfg)
+			})
 	default: // rwr
-		cfg := queries.RWRConfig{Restart: req.Restart, Eps: req.Eps, MaxIter: req.MaxIter}
+		cfg := queries.RWRConfig{Restart: p.restart, Eps: p.eps, MaxIter: p.maxIter}
 		return fmt.Sprintf("g%d|rwr|n%d|r%g,e%g,i%d", box.gen, q, cfg.Restart, cfg.Eps, cfg.MaxIter),
-			func(ctx context.Context) (any, error) {
+			pooled(func(ctx context.Context) (any, error) {
+				cfg := cfg
 				cfg.Ctx = ctx
-				return be.rwr(q, cfg)
-			}
+				return sess.RWR(q, cfg)
+			})
 	}
 }
 
@@ -346,12 +534,8 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if req.BudgetRatio < 0 {
-		writeError(w, http.StatusBadRequest, "budget_ratio must be positive, got %v", req.BudgetRatio)
-		return
-	}
-	if req.Alpha != 0 && req.Alpha < 1 {
-		writeError(w, http.StatusBadRequest, "alpha must be >= 1, got %v", req.Alpha)
+	if msg := req.validate(); msg != "" {
+		writeError(w, http.StatusBadRequest, "%s", msg)
 		return
 	}
 	var targets []graph.NodeID
@@ -371,11 +555,11 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		if req.Targets != nil {
 			cfg.Targets = targets
 		}
-		if req.BudgetRatio != 0 {
-			cfg.BudgetRatio = req.BudgetRatio
+		if req.BudgetRatio != nil {
+			cfg.BudgetRatio = *req.BudgetRatio
 		}
-		if req.Alpha != 0 {
-			cfg.Alpha = req.Alpha
+		if req.Alpha != nil {
+			cfg.Alpha = *req.Alpha
 		}
 		return cfg
 	}

@@ -25,6 +25,10 @@ type Metrics struct {
 	cacheMisses atomic.Uint64
 	cacheShared atomic.Uint64
 
+	batches     atomic.Uint64
+	batchItems  atomic.Uint64
+	batchGroups atomic.Uint64
+
 	latency [histBuckets]atomic.Uint64
 	latSum  atomic.Uint64 // microseconds
 
@@ -77,6 +81,14 @@ func (m *Metrics) ObserveShard(i int) {
 	}
 }
 
+// ObserveBatch records one batch request: how many query nodes it carried
+// and how many distinct shard groups it fanned out to.
+func (m *Metrics) ObserveBatch(items, groups int) {
+	m.batches.Add(1)
+	m.batchItems.Add(uint64(items))
+	m.batchGroups.Add(uint64(groups))
+}
+
 // ObserveCache records a cache lookup outcome.
 func (m *Metrics) ObserveCache(s CacheStatus) {
 	switch s {
@@ -115,6 +127,20 @@ func (m *Metrics) percentile(p float64) float64 {
 	return float64(uint64(1)<<uint(histBuckets)) / 1000.0
 }
 
+// BatchMetrics is the batch-endpoint section of a metrics snapshot.
+type BatchMetrics struct {
+	// Count is the number of POST /v1/query/batch requests served.
+	Count uint64 `json:"count"`
+	// Items is the total number of query nodes across all batches.
+	Items uint64 `json:"items"`
+	// ShardGroups is the total routing fan-out across all batches.
+	ShardGroups uint64 `json:"shard_groups"`
+	// AvgSize is Items/Count — how many queries one round-trip amortizes.
+	AvgSize float64 `json:"avg_size"`
+	// AvgFanout is ShardGroups/Count — how many shards a batch touches.
+	AvgFanout float64 `json:"avg_fanout"`
+}
+
 // CacheMetrics is the cache section of a metrics snapshot.
 type CacheMetrics struct {
 	Hits    uint64  `json:"hits"`
@@ -136,6 +162,7 @@ type Snapshot struct {
 	LatencyP90Ms  float64           `json:"latency_p90_ms"`
 	LatencyP99Ms  float64           `json:"latency_p99_ms"`
 	Cache         CacheMetrics      `json:"cache"`
+	Batch         BatchMetrics      `json:"batch"`
 	Endpoints     map[string]uint64 `json:"endpoints"`
 	ShardQueries  []uint64          `json:"shard_queries"`
 	InFlight      int               `json:"in_flight"`
@@ -175,6 +202,15 @@ func (m *Metrics) SnapshotNow(cacheEntries, inFlight int, generation uint64) Sna
 	if lookups := hits + misses + shared; lookups > 0 {
 		// Shared lookups count as hits: the work was deduplicated away.
 		s.Cache.HitRate = float64(hits+shared) / float64(lookups)
+	}
+	s.Batch = BatchMetrics{
+		Count:       m.batches.Load(),
+		Items:       m.batchItems.Load(),
+		ShardGroups: m.batchGroups.Load(),
+	}
+	if s.Batch.Count > 0 {
+		s.Batch.AvgSize = float64(s.Batch.Items) / float64(s.Batch.Count)
+		s.Batch.AvgFanout = float64(s.Batch.ShardGroups) / float64(s.Batch.Count)
 	}
 	m.mu.Lock()
 	for name, c := range m.endpoints {

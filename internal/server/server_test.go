@@ -18,6 +18,9 @@ import (
 	"pegasus/internal/queries"
 )
 
+// fp builds the optional float parameters of QueryParams.
+func fp(v float64) *float64 { return &v }
+
 func testGraph() *graph.Graph {
 	return gen.PlantedPartition(gen.SBMConfig{
 		Nodes: 300, Communities: 4, AvgDegree: 8, MixingP: 0.05,
@@ -168,7 +171,7 @@ func TestPageRankEndpoint(t *testing.T) {
 
 func TestTopKEndpoint(t *testing.T) {
 	s := testServer(t)
-	res, raw := postJSON(t, s.Handler(), "/v1/query/topk", QueryRequest{Node: 9, K: 5})
+	res, raw := postJSON(t, s.Handler(), "/v1/query/topk", QueryRequest{Node: 9, QueryParams: QueryParams{K: 5}})
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", res.StatusCode, raw)
 	}
@@ -290,7 +293,7 @@ func TestCacheHitViaMetrics(t *testing.T) {
 	s := testServer(t)
 	h := s.Handler()
 	// A config unique to this test keeps other tests' queries out of the way.
-	req := QueryRequest{Node: 11, Eps: 3e-9}
+	req := QueryRequest{Node: 11, QueryParams: QueryParams{Eps: fp(3e-9)}}
 
 	var before Snapshot
 	_, raw := do(t, h, httptest.NewRequest("GET", "/metrics", nil))
@@ -339,7 +342,7 @@ func TestConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
 				node := uint32((w * i) % 20)
-				res, raw := postJSON(t, h, "/v1/query/rwr", QueryRequest{Node: node, Eps: 7e-9})
+				res, raw := postJSON(t, h, "/v1/query/rwr", QueryRequest{Node: node, QueryParams: QueryParams{Eps: fp(7e-9)}})
 				if res.StatusCode != http.StatusOK {
 					t.Errorf("worker %d: status %d: %s", w, res.StatusCode, raw)
 					return

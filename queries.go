@@ -67,4 +67,29 @@ func PushRWR(o Oracle, q NodeID, cfg PushConfig) ([]float64, error) {
 // answer shape).
 func TopK(scores []float64, k int) []NodeID { return queries.TopK(scores, k) }
 
+// QuerySession answers repeated RWR/PHP queries over one artifact while
+// sharing the query-independent precompute (the weighted-degree scan) and
+// iteration scratch across calls — the amortization behind the paper's
+// multi-query workloads. Not safe for concurrent use.
+type QuerySession = queries.Session
+
+// NewQuerySession returns a QuerySession over any Oracle.
+func NewQuerySession(o Oracle) QuerySession { return queries.NewSession(o) }
+
+// NewSummaryQuerySession returns a QuerySession over a summary graph using
+// the block-accelerated evaluators.
+func NewSummaryQuerySession(s *Summary) QuerySession { return queries.NewSummarySession(s) }
+
+// RWRBatch answers RWR for every node of qs over one Oracle through a
+// shared QuerySession: the weighted-degree vector is computed once for the
+// whole batch instead of once per node.
+func RWRBatch(o Oracle, qs []NodeID, cfg RWRConfig) ([][]float64, error) {
+	return queries.RWRBatch(o, qs, cfg)
+}
+
+// SummaryRWRBatch is RWRBatch over the block-accelerated summary evaluator.
+func SummaryRWRBatch(s *Summary, qs []NodeID, cfg RWRConfig) ([][]float64, error) {
+	return queries.SummaryRWRBatch(s, qs, cfg)
+}
+
 var _ = graph.NodeID(0) // keep the graph import explicit for NodeID's origin

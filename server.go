@@ -24,6 +24,18 @@ type (
 	QueryRequest = server.QueryRequest
 	// QueryResponse is the JSON answer of POST /v1/query/{kind}.
 	QueryResponse = server.QueryResponse
+	// QueryParams are the algorithm parameters shared by the single-query
+	// and batch endpoints (pointer fields distinguish "absent" from an
+	// explicit value; see the type's docs for the default-selection rule).
+	QueryParams = server.QueryParams
+	// BatchRequest is the JSON body of POST /v1/query/batch: one kind, one
+	// shared parameter set, and a vector of query nodes answered in a
+	// single round-trip with per-item results and errors.
+	BatchRequest = server.BatchRequest
+	// BatchResponse is the JSON answer of POST /v1/query/batch.
+	BatchResponse = server.BatchResponse
+	// BatchItem is the per-node answer inside a BatchResponse.
+	BatchItem = server.BatchItem
 	// MetricsSnapshot is the JSON answer of GET /metrics.
 	MetricsSnapshot = server.Snapshot
 )
