@@ -69,8 +69,46 @@ func BuildSummaryCluster(g *Graph, labels []uint32, m int, budgetBits float64, c
 // so the build runs ~workers goroutines total instead of workers², the
 // same policy the serving daemon applies to BuildWorkers.
 func BuildSummaryClusterCtx(ctx context.Context, g *Graph, labels []uint32, m int, budgetBits float64, cfg Config, workers int) (*Cluster, error) {
+	c, _, err := BuildSummaryClusterIncremental(ctx, g, labels, m, budgetBits, cfg,
+		ClusterBuildOptions{Workers: workers})
+	return c, err
+}
+
+// ClusterBuildStats reports how an incremental cluster build satisfied each
+// shard (rebuilt from scratch vs transplanted from the previous cluster).
+type ClusterBuildStats = distributed.BuildStats
+
+// ClusterBuildOptions are the optional knobs of BuildSummaryClusterIncremental.
+type ClusterBuildOptions struct {
+	// Workers bounds concurrent shard builds (0 = GOMAXPROCS,
+	// 1 = sequential); the cluster is identical for every value.
+	Workers int
+	// Targets, when non-empty, restricts personalization to a workload:
+	// shard i's target set becomes the intersection of its partition part
+	// with Targets, and parts containing no target keep Alg. 3's default
+	// (personalization to the whole part) — so a target change confined to
+	// one part rebuilds exactly that shard. Empty Targets personalizes
+	// every shard to its whole part.
+	Targets []NodeID
+	// Prev is a previous cluster to reuse: shards whose content key —
+	// a fingerprint of (graph, resolved targets, budget, workers-independent
+	// config) — matches a shard of Prev are transplanted instead of rebuilt.
+	// The transplanted artifacts are bit-identical to what a from-scratch
+	// build would produce, so reuse only changes build time.
+	Prev *Cluster
+}
+
+// BuildSummaryClusterIncremental is the reuse-aware cluster build: it
+// rebuilds only the shards whose content key differs from every shard of
+// opts.Prev and transplants the rest, returning per-shard build stats. With
+// a nil Prev it degenerates to a full build that additionally records the
+// content keys enabling future reuse.
+//
+// Configurations carrying a custom Threshold policy cannot be fingerprinted
+// (core.Config.ContentKey); they build every shard and record no keys.
+func BuildSummaryClusterIncremental(ctx context.Context, g *Graph, labels []uint32, m int, budgetBits float64, cfg Config, opts ClusterBuildOptions) (*Cluster, ClusterBuildStats, error) {
 	if cfg.Workers == 0 && m > 0 {
-		total := par.Workers(workers)
+		total := par.Workers(opts.Workers)
 		concurrentShards := total
 		if concurrentShards > m {
 			concurrentShards = m
@@ -81,8 +119,14 @@ func BuildSummaryClusterCtx(ctx context.Context, g *Graph, labels []uint32, m in
 			cfg.Workers = 1
 		}
 	}
+	key, _ := core.Config(cfg).ContentKey() // "" (no reuse) on unkeyable configs
 	return distributed.BuildSummaryClusterCtx(ctx, g, labels, m, budgetBits,
-		distributed.PegasusSummarizer(core.Config(cfg)), workers)
+		distributed.PegasusSummarizer(core.Config(cfg)), distributed.BuildOpts{
+			Workers:   opts.Workers,
+			Targets:   opts.Targets,
+			ConfigKey: key,
+			Prev:      opts.Prev,
+		})
 }
 
 // BuildSubgraphCluster builds the graph-partitioning alternative of §IV:

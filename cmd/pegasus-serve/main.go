@@ -2,6 +2,9 @@
 // generates) a graph, builds a personalized summary — or a sharded cluster
 // of summaries with a node→shard routing table (§IV) — and answers
 // node-similarity queries over JSON endpoints until interrupted.
+// POST /v1/summarize hot-reconfigures it with incremental per-shard
+// rebuilds (only shards whose targets/budget actually changed are rebuilt).
+// See API.md at the repo root for the complete endpoint reference.
 //
 // Usage:
 //
@@ -12,6 +15,7 @@
 //	curl -s -X POST localhost:8080/v1/query/rwr -d '{"node": 42}'
 //	curl -s -X POST localhost:8080/v1/query/topk -d '{"node": 42, "k": 5}'
 //	curl -s -X POST localhost:8080/v1/query/batch -d '{"kind": "rwr", "nodes": [1, 2, 42]}'
+//	curl -s -X POST localhost:8080/v1/summarize -d '{"targets": [17, 23]}'
 //	curl -s localhost:8080/metrics
 package main
 

@@ -60,10 +60,34 @@
 // evaluation session. The same amortization is available in-process:
 //
 //	scores, _ := pegasus.SummaryRWRBatch(s, []pegasus.NodeID{1, 2, 42}, pegasus.RWRConfig{})
+//	probs, _ := pegasus.SummaryPHPBatch(s, []pegasus.NodeID{1, 2, 42}, pegasus.PHPConfig{})
 //	sess := pegasus.NewSummaryQuerySession(s) // or drive a session directly
 //	a, _ := sess.RWR(1, pegasus.RWRConfig{})
 //	b, _ := sess.PHP(2, pegasus.PHPConfig{})
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// # Incremental re-summarization
+//
+// POST /v1/summarize hot-rebuilds the serving artifact, and the rebuild is
+// incremental: every shard summary carries a content key (graph, resolved
+// target set, budget share, engine config), and only shards whose key
+// changed are rebuilt — the rest are transplanted bit-identically along
+// with their cached query answers. On a 4-shard server, changing the
+// targets inside one shard's part rebuilds exactly that shard:
+//
+//	curl -s -X POST localhost:8080/v1/summarize -d '{"targets": [17, 23]}'
+//	// => {"generation": 2, ..., "rebuilt": 1, "reused": 3}
+//	curl -s -X POST localhost:8080/v1/summarize -d '{}'
+//	// => no-op: {"generation": 3, ..., "rebuilt": 0, "reused": 4}
+//
+// In-process, the same reuse is BuildSummaryClusterIncremental with a
+// previous cluster:
+//
+//	c2, stats, _ := pegasus.BuildSummaryClusterIncremental(ctx, g, labels, 4, budget, cfg,
+//		pegasus.ClusterBuildOptions{Targets: newTargets, Prev: c1})
+//	// stats.Rebuilt == 1, stats.Reused == 3
+//
+// See API.md for the complete HTTP reference (every endpoint, schema,
+// status code and parameter-default rule), DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
 package pegasus

@@ -101,16 +101,28 @@ type Config struct {
 	Trace func(IterStats)
 }
 
+// The paper defaults (§V-A), shared by withDefaults and ContentKey: the
+// two MUST normalize identically, or a zero config and a spelled-out
+// default config would fingerprint differently while building the same
+// summary (breaking incremental reuse both ways).
+const (
+	defaultAlpha         = 1.25
+	defaultBeta          = 0.1
+	defaultMaxIter       = 20
+	defaultMaxGroupSize  = 500
+	defaultMaxSplitDepth = 10
+)
+
 // withDefaults fills zero fields with the paper defaults and validates.
 func (c Config) withDefaults(g *graph.Graph) (Config, error) {
 	if c.Alpha == 0 {
-		c.Alpha = 1.25
+		c.Alpha = defaultAlpha
 	}
 	if c.Alpha < 1 {
 		return c, fmt.Errorf("core: alpha must be >= 1, got %v", c.Alpha)
 	}
 	if c.Beta == 0 {
-		c.Beta = 0.1
+		c.Beta = defaultBeta
 	}
 	// NaN fails every comparison, so it must be rejected explicitly: a NaN
 	// Beta would silently degenerate the θ schedule (threshold.go clamps the
@@ -119,7 +131,7 @@ func (c Config) withDefaults(g *graph.Graph) (Config, error) {
 		return c, fmt.Errorf("core: beta must be in (0,1], got %v", c.Beta)
 	}
 	if c.MaxIter == 0 {
-		c.MaxIter = 20
+		c.MaxIter = defaultMaxIter
 	}
 	if c.MaxIter < 1 {
 		return c, fmt.Errorf("core: MaxIter must be positive, got %d", c.MaxIter)
@@ -143,13 +155,13 @@ func (c Config) withDefaults(g *graph.Graph) (Config, error) {
 		return c, fmt.Errorf("core: Workers must be >= 1 (or 0 for GOMAXPROCS), got %d", c.Workers)
 	}
 	if c.MaxGroupSize == 0 {
-		c.MaxGroupSize = 500
+		c.MaxGroupSize = defaultMaxGroupSize
 	}
 	if c.MaxGroupSize < 2 {
 		return c, fmt.Errorf("core: MaxGroupSize must be >= 2, got %d", c.MaxGroupSize)
 	}
 	if c.MaxSplitDepth == 0 {
-		c.MaxSplitDepth = 10
+		c.MaxSplitDepth = defaultMaxSplitDepth
 	}
 	for _, t := range c.Targets {
 		if int(t) >= g.NumNodes() {
@@ -160,6 +172,46 @@ func (c Config) withDefaults(g *graph.Graph) (Config, error) {
 		c.Threshold = AdaptiveThreshold{Beta: c.Beta}
 	}
 	return c, nil
+}
+
+// ContentKey returns a canonical serialization of the configuration fields
+// that determine summarization output for a fixed graph, target set and
+// budget — every field except Targets, BudgetBits and BudgetRatio (supplied
+// per shard by cluster builds) and the output-invariant knobs Workers and
+// Trace (the build pipeline is worker-count invariant; see DESIGN.md).
+// Zero-valued fields are normalized to the paper defaults first, so a zero
+// config and an explicitly-spelled-default config share one key.
+//
+// The second return is false when the config carries a custom Threshold
+// policy: an arbitrary ThresholdPolicy has no canonical serialization, so
+// such configs cannot be fingerprinted (and incremental cluster rebuilds
+// fall back to building every shard).
+func (c Config) ContentKey() (string, bool) {
+	if c.Threshold != nil {
+		return "", false
+	}
+	// Mirror withDefaults' graph-independent normalization exactly: two
+	// configs that summarize identically must share a key.
+	alpha, beta := c.Alpha, c.Beta
+	if alpha == 0 {
+		alpha = defaultAlpha
+	}
+	if beta == 0 {
+		beta = defaultBeta
+	}
+	maxIter, maxGroup, maxSplit := c.MaxIter, c.MaxGroupSize, c.MaxSplitDepth
+	if maxIter == 0 {
+		maxIter = defaultMaxIter
+	}
+	if maxGroup == 0 {
+		maxGroup = defaultMaxGroupSize
+	}
+	if maxSplit == 0 {
+		maxSplit = defaultMaxSplitDepth
+	}
+	return fmt.Sprintf("pegasus1|a%x|b%x|i%d|s%d|g%d|d%d|c%d|e%d|r%t",
+		math.Float64bits(alpha), math.Float64bits(beta), maxIter, c.Seed,
+		maxGroup, maxSplit, c.CostMode, c.Encoding, c.RandomGroups), true
 }
 
 // Result is the output of Summarize.

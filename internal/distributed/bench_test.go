@@ -33,7 +33,7 @@ func BenchmarkBuildSummaryCluster(b *testing.B) {
 			sum := PegasusSummarizer(core.Config{Seed: 3, Workers: 1})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, budget, sum, workers); err != nil {
+				if _, _, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, budget, sum, BuildOpts{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

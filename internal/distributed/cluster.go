@@ -93,6 +93,10 @@ type Cluster struct {
 	Assign []uint32
 	// Machines are the m workers.
 	Machines []*Machine
+	// Keys are the per-machine content keys (ShardKey) when the cluster was
+	// built with BuildOpts.ConfigKey set; nil otherwise. A later build may
+	// transplant any machine whose key it reproduces.
+	Keys []string
 }
 
 // Route returns the machine index that answers queries on node q.
@@ -185,44 +189,129 @@ func PegasusSummarizer(base core.Config) Summarizer {
 // the given partition (labels in [0,m)), build a summary personalized to
 // V_i within budgetBits and load it on machine i. The m builds run
 // concurrently with up to GOMAXPROCS in flight; BuildSummaryClusterCtx
-// exposes cancellation and the concurrency knob.
+// exposes cancellation, the concurrency knob, workload-restricted targets
+// and incremental reuse.
 func BuildSummaryCluster(g *graph.Graph, labels []uint32, m int, budgetBits float64, summarize Summarizer) (*Cluster, error) {
-	return BuildSummaryClusterCtx(context.Background(), g, labels, m, budgetBits, summarize, 0)
+	c, _, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, budgetBits, summarize, BuildOpts{})
+	return c, err
+}
+
+// BuildOpts are the optional knobs of BuildSummaryClusterCtx. The zero
+// value reproduces the plain Alg. 3 build: GOMAXPROCS-bounded concurrent
+// shard builds, each shard personalized to its whole part, no reuse.
+type BuildOpts struct {
+	// Workers bounds concurrent shard builds (0 = GOMAXPROCS,
+	// 1 = sequential). The resulting cluster is identical for every value.
+	Workers int
+	// Targets, when non-empty, restricts personalization to a workload:
+	// shard i's resolved target set becomes the intersection of its part
+	// with Targets (in part order). A shard whose part contains no
+	// requested target is untouched by the request and keeps Alg. 3's
+	// default — personalization to its whole part — so a target change
+	// confined to one part re-keys (and rebuilds) exactly that shard.
+	// Empty Targets personalizes every shard to its whole part.
+	Targets []graph.NodeID
+	// ConfigKey is the workers-independent fingerprint of the summarizer's
+	// configuration (core.Config.ContentKey for PegasusSummarizer). When
+	// non-empty, the build computes a ShardKey per machine, records them on
+	// Cluster.Keys, and may transplant machines from Prev. Callers using a
+	// custom Summarizer must guarantee the key covers every input that
+	// changes its output besides (graph, targets, budget); an empty key
+	// disables reuse entirely.
+	ConfigKey string
+	// GraphToken, when non-empty, skips recomputing GraphToken(g) — for
+	// callers that rebuild over one immutable graph and have the token
+	// cached. It MUST equal GraphToken(g), or the reuse-safety argument is
+	// void.
+	GraphToken string
+	// Prev is a previous cluster whose machines may be transplanted: any
+	// shard whose content key matches a key of Prev reuses that machine's
+	// summary verbatim instead of rebuilding. Equal keys imply bit-identical
+	// artifacts (summaries are immutable and the build pipeline is
+	// worker-count invariant), so reuse is undetectable except in build
+	// time. Requires ConfigKey; Prev clusters without Keys are ignored.
+	Prev *Cluster
 }
 
 // BuildSummaryClusterCtx is BuildSummaryCluster with cooperative
-// cancellation and explicit build parallelism: at most `workers` machine
-// summaries build concurrently (0 = GOMAXPROCS, 1 = sequential). The shard
-// builds are independent — the §IV scheme is communication-free — so the
-// resulting cluster is identical for every worker count. The first build
-// error cancels the remaining builds and is returned; ctx cancellation does
-// the same with ctx.Err().
-func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32, m int, budgetBits float64, summarize Summarizer, workers int) (*Cluster, error) {
+// cancellation and the BuildOpts knobs: explicit build parallelism,
+// workload-restricted targets, and incremental reuse of a previous
+// cluster's machines (only shards whose content key differs from every key
+// of opts.Prev are rebuilt; the rest are transplanted). The shard builds
+// are independent — the §IV scheme is communication-free — so the
+// resulting cluster is identical for every worker count, and, by the
+// content-key argument above, for every Prev. The first build error
+// cancels the remaining builds and is returned; ctx cancellation does the
+// same with ctx.Err().
+func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32, m int, budgetBits float64, summarize Summarizer, opts BuildOpts) (*Cluster, BuildStats, error) {
+	stats := BuildStats{}
 	if len(labels) != g.NumNodes() {
-		return nil, fmt.Errorf("distributed: labels length %d != |V| %d", len(labels), g.NumNodes())
+		return nil, stats, fmt.Errorf("distributed: labels length %d != |V| %d", len(labels), g.NumNodes())
 	}
 	if m < 1 {
-		return nil, fmt.Errorf("distributed: need at least one machine, got m=%d", m)
+		return nil, stats, fmt.Errorf("distributed: need at least one machine, got m=%d", m)
 	}
 	parts := make([][]graph.NodeID, m)
 	for u, l := range labels {
 		if int(l) >= m {
-			return nil, fmt.Errorf("distributed: label %d out of range (m=%d)", l, m)
+			return nil, stats, fmt.Errorf("distributed: label %d out of range (m=%d)", l, m)
 		}
 		parts[l] = append(parts[l], graph.NodeID(u))
 	}
+	targets, err := resolveTargets(g, parts, opts.Targets)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	c := &Cluster{Assign: labels, Machines: make([]*Machine, m)}
+	stats.ReusedShards = make([]bool, m)
+	toBuild := make([]int, 0, m)
+	if opts.ConfigKey != "" {
+		token := opts.GraphToken
+		if token == "" {
+			token = GraphToken(g)
+		}
+		c.Keys = make([]string, m)
+		for i := range c.Keys {
+			c.Keys[i] = ShardKey(token, targets[i], budgetBits, opts.ConfigKey)
+		}
+		// Match by key, not by index: a relabeled or permuted partition can
+		// still reuse any previous machine that holds the exact artifact.
+		prevByKey := make(map[string]*Machine)
+		if opts.Prev != nil {
+			for j, k := range opts.Prev.Keys {
+				if j < len(opts.Prev.Machines) && opts.Prev.Machines[j] != nil && opts.Prev.Machines[j].Summary != nil {
+					prevByKey[k] = opts.Prev.Machines[j]
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			if prev, ok := prevByKey[c.Keys[i]]; ok {
+				c.Machines[i] = prev // transplant: bit-identical by key equality
+				stats.ReusedShards[i] = true
+				stats.Reused++
+				continue
+			}
+			toBuild = append(toBuild, i)
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			toBuild = append(toBuild, i)
+		}
+	}
+	stats.Rebuilt = len(toBuild)
 
 	buildCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	c := &Cluster{Assign: labels, Machines: make([]*Machine, m)}
 	errs := make([]error, m)
-	par.ForEach(workers, m, func(_, i int) {
+	par.ForEach(opts.Workers, len(toBuild), func(_, k int) {
+		i := toBuild[k]
 		if err := buildCtx.Err(); err != nil {
 			errs[i] = err
 			return
 		}
-		s, err := summarize(buildCtx, g, parts[i], budgetBits)
+		s, err := summarize(buildCtx, g, targets[i], budgetBits)
 		if err != nil {
 			errs[i] = err
 			cancel() // first error wins: stop the remaining builds
@@ -234,7 +323,7 @@ func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32
 	// A cancelled caller context is not any machine's fault; report it as
 	// plain ctx.Err() rather than blaming whichever shard noticed first.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	// Report the root cause deterministically: the lowest-indexed machine
 	// whose failure is not just the cancellation fallout of another's.
@@ -243,7 +332,7 @@ func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32
 		if err == nil || errors.Is(err, context.Canceled) {
 			continue
 		}
-		return nil, fmt.Errorf("distributed: machine %d: %w", i, err)
+		return nil, stats, fmt.Errorf("distributed: machine %d: %w", i, err)
 	}
 	for i, err := range errs {
 		if err != nil && firstErr == nil {
@@ -251,7 +340,37 @@ func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, stats, firstErr
 	}
-	return c, nil
+	return c, stats, nil
+}
+
+// resolveTargets computes each shard's resolved target set: the
+// part∩targets intersection in part order, with parts the request does not
+// touch (no target falls in them, or targets is empty altogether) keeping
+// their whole part per Alg. 3. The resolved sets — not the raw parts — are
+// what shard content keys fingerprint, so only the touched shards re-key.
+func resolveTargets(g *graph.Graph, parts [][]graph.NodeID, targets []graph.NodeID) ([][]graph.NodeID, error) {
+	if len(targets) == 0 {
+		return parts, nil
+	}
+	mark := make([]bool, g.NumNodes())
+	for _, t := range targets {
+		if int(t) >= len(mark) {
+			return nil, fmt.Errorf("distributed: target %d out of range (|V|=%d)", t, g.NumNodes())
+		}
+		mark[t] = true
+	}
+	out := make([][]graph.NodeID, len(parts))
+	for i, part := range parts {
+		for _, u := range part {
+			if mark[u] {
+				out[i] = append(out[i], u)
+			}
+		}
+		if len(out[i]) == 0 {
+			out[i] = part // untouched part: keep whole-part personalization
+		}
+	}
+	return out, nil
 }

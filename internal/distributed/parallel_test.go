@@ -50,12 +50,12 @@ func TestParallelClusterBuildMatchesSequential(t *testing.T) {
 	budget := 0.5 * g.SizeBits()
 	sum := PegasusSummarizer(core.Config{Seed: 3, Workers: 1})
 
-	seq, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, budget, sum, 1)
+	seq, _, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, budget, sum, BuildOpts{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
-		par, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, budget, sum, workers)
+		par, _, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, budget, sum, BuildOpts{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -117,7 +117,7 @@ func TestBuildSummaryClusterFirstError(t *testing.T) {
 			return nil, errors.New("cancellation never arrived")
 		}
 	}
-	_, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, 0.5*g.SizeBits(), sum, m)
+	_, _, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, 0.5*g.SizeBits(), sum, BuildOpts{Workers: m})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
 	}
@@ -132,8 +132,8 @@ func TestBuildSummaryClusterCtxCancelled(t *testing.T) {
 	labels := partition.RandomBalanced(g.NumNodes(), m, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := BuildSummaryClusterCtx(ctx, g, labels, m, 0.5*g.SizeBits(),
-		PegasusSummarizer(core.Config{Seed: 1}), m)
+	_, _, err := BuildSummaryClusterCtx(ctx, g, labels, m, 0.5*g.SizeBits(),
+		PegasusSummarizer(core.Config{Seed: 1}), BuildOpts{Workers: m})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -151,8 +151,8 @@ func TestConcurrentClusterBuildsRace(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = BuildSummaryClusterCtx(context.Background(), g, labels, m,
-				0.5*g.SizeBits(), PegasusSummarizer(core.Config{Seed: int64(i), Workers: 2}), m)
+			_, _, errs[i] = BuildSummaryClusterCtx(context.Background(), g, labels, m,
+				0.5*g.SizeBits(), PegasusSummarizer(core.Config{Seed: int64(i), Workers: 2}), BuildOpts{Workers: m})
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,55 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+
+	"pegasus/internal/graph"
+)
+
+// TestPHPBatchMatchesSingleCalls: the batched PHP path must be
+// bit-identical to the one-shot entry points on both evaluators — the same
+// invariant RWRBatch holds, now gated for the PHP bench arm.
+func TestPHPBatchMatchesSingleCalls(t *testing.T) {
+	g, s := sessionTestGraph(t)
+	o := GraphOracle{g}
+	qs := []graph.NodeID{0, 7, 7, 31, 119}
+	cfg := PHPConfig{}
+
+	got, err := PHPBatch(o, qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := PHP(o, q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactEqual(t, "oracle PHPBatch", graph.NodeID(i), got[i], want)
+	}
+
+	gotS, err := SummaryPHPBatch(s, qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := SummaryPHP(s, q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactEqual(t, "summary PHPBatch", graph.NodeID(i), gotS[i], want)
+	}
+}
+
+// TestPHPBatchReportsFailingItem: an out-of-range node aborts the batch
+// naming the offending item.
+func TestPHPBatchReportsFailingItem(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	_, err := PHPBatch(GraphOracle{g}, []graph.NodeID{0, graph.NodeID(g.NumNodes())}, PHPConfig{})
+	if err == nil {
+		t.Fatal("out-of-range batch item did not error")
+	}
+	if !strings.Contains(err.Error(), "batch item 1") {
+		t.Errorf("error %q does not name the failing item", err)
+	}
+}

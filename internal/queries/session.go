@@ -58,6 +58,31 @@ func rwrBatch(sess Session, qs []graph.NodeID, cfg RWRConfig) ([][]float64, erro
 	return out, nil
 }
 
+// PHPBatch answers PHP for every node of qs through one shared Session —
+// the same weighted-degree amortization as RWRBatch (PHP shares the
+// session precompute). Results are in qs order; the first failing node
+// aborts the batch.
+func PHPBatch(o Oracle, qs []graph.NodeID, cfg PHPConfig) ([][]float64, error) {
+	return phpBatch(NewSession(o), qs, cfg)
+}
+
+// SummaryPHPBatch is PHPBatch over the block-accelerated summary evaluator.
+func SummaryPHPBatch(s *summary.Summary, qs []graph.NodeID, cfg PHPConfig) ([][]float64, error) {
+	return phpBatch(NewSummarySession(s), qs, cfg)
+}
+
+func phpBatch(sess Session, qs []graph.NodeID, cfg PHPConfig) ([][]float64, error) {
+	out := make([][]float64, len(qs))
+	for i, q := range qs {
+		r, err := sess.PHP(q, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("queries: batch item %d (node %d): %w", i, q, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
 // oracleSession runs the generic implementations with shared wdeg and
 // scratch. v1/v2 are the two |V|-sized iteration vectors; every query fully
 // (re)initializes the parts of them it reads.

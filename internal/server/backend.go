@@ -126,24 +126,23 @@ func pageRankChecked(o queries.Oracle, cfg queries.PageRankConfig) ([]float64, e
 
 // buildBackend constructs the serving artifact: a single summary
 // personalized to cfg.Targets, or — when cfg.Shards >= 2 — an Alg. 3
-// cluster where shard i holds a summary personalized to partition part i.
+// cluster where shard i holds a summary personalized to partition part i
+// (restricted to cfg.Targets ∩ part i when targets are set).
 // cfg.BuildWorkers bounds the build parallelism (concurrent shard builds
 // plus the engine's internal pipeline) and ctx cancels summarization
 // mid-build — a disconnected POST /v1/summarize client stops burning CPU.
-func buildBackend(ctx context.Context, g *graph.Graph, cfg Config) (backend, error) {
+//
+// The build is incremental: each shard gets a content key — a fingerprint
+// of (graph, resolved target set, budget share, workers-independent config)
+// — and shards whose key matches a shard of prev transplant that artifact
+// instead of rebuilding (equal keys imply bit-identical summaries, see
+// internal/distributed). Returned alongside the backend: the per-shard
+// keys and the rebuilt/reused stats. graphToken is the cached
+// distributed.GraphToken of g.
+func buildBackend(ctx context.Context, g *graph.Graph, cfg Config, graphToken string, prev *backendBox) (backend, []string, distributed.BuildStats, error) {
 	budgetBits := cfg.BudgetRatio * g.SizeBits()
 	if cfg.Shards <= 1 {
-		res, err := core.SummarizeCtx(ctx, g, core.Config{
-			Targets:    cfg.Targets,
-			Alpha:      cfg.Alpha,
-			Seed:       cfg.Seed,
-			BudgetBits: budgetBits,
-			Workers:    cfg.BuildWorkers,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("server: summarize: %w", err)
-		}
-		return &summaryBackend{s: res.Summary}, nil
+		return buildSingle(ctx, g, cfg, budgetBits, graphToken, prev)
 	}
 	// Split the worker budget between the two levels of parallelism: up to
 	// BuildWorkers shard builds in flight, each engine using the leftover
@@ -159,11 +158,57 @@ func buildBackend(ctx context.Context, g *graph.Graph, cfg Config) (backend, err
 		perEngine = 1
 	}
 	base := core.Config{Alpha: cfg.Alpha, Seed: cfg.Seed, Workers: perEngine}
+	// The partition depends only on (graph, Shards, PartitionMethod, Seed),
+	// none of which /v1/summarize can change, so labels — and with them the
+	// node→shard routing — are stable across hot rebuilds.
 	labels := partition.Partition(g, cfg.Shards, partition.Method(cfg.PartitionMethod), cfg.Seed)
-	c, err := distributed.BuildSummaryClusterCtx(ctx, g, labels, cfg.Shards, budgetBits,
-		distributed.PegasusSummarizer(base), cfg.BuildWorkers)
-	if err != nil {
-		return nil, fmt.Errorf("server: build cluster: %w", err)
+	cfgKey, _ := base.ContentKey() // server configs never set Threshold, but stay safe
+	var prevCluster *distributed.Cluster
+	if prev != nil {
+		if cb, ok := prev.be.(*clusterBackend); ok {
+			prevCluster = cb.c
+		}
 	}
-	return &clusterBackend{c: c}, nil
+	c, stats, err := distributed.BuildSummaryClusterCtx(ctx, g, labels, cfg.Shards, budgetBits,
+		distributed.PegasusSummarizer(base), distributed.BuildOpts{
+			Workers:    cfg.BuildWorkers,
+			Targets:    cfg.Targets,
+			ConfigKey:  cfgKey,
+			GraphToken: graphToken,
+			Prev:       prevCluster,
+		})
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("server: build cluster: %w", err)
+	}
+	return &clusterBackend{c: c}, c.Keys, stats, nil
+}
+
+// buildSingle is the unsharded arm of buildBackend: one summary, treated as
+// a 1-shard cluster for content-key purposes so no-op rebuilds reuse it.
+func buildSingle(ctx context.Context, g *graph.Graph, cfg Config, budgetBits float64, graphToken string, prev *backendBox) (backend, []string, distributed.BuildStats, error) {
+	ccfg := core.Config{
+		Targets:    cfg.Targets,
+		Alpha:      cfg.Alpha,
+		Seed:       cfg.Seed,
+		BudgetBits: budgetBits,
+		Workers:    cfg.BuildWorkers,
+	}
+	stats := distributed.BuildStats{ReusedShards: make([]bool, 1)}
+	var keys []string
+	if ck, ok := ccfg.ContentKey(); ok {
+		keys = []string{distributed.ShardKey(graphToken, cfg.Targets, budgetBits, ck)}
+		if prev != nil && len(prev.keys) == 1 && prev.keys[0] == keys[0] {
+			if sb, ok := prev.be.(*summaryBackend); ok {
+				stats.Reused = 1
+				stats.ReusedShards[0] = true
+				return sb, keys, stats, nil
+			}
+		}
+	}
+	res, err := core.SummarizeCtx(ctx, g, ccfg)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("server: summarize: %w", err)
+	}
+	stats.Rebuilt = 1
+	return &summaryBackend{s: res.Summary}, keys, stats, nil
 }

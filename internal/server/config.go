@@ -23,9 +23,12 @@ type Config struct {
 	// BudgetRatio is the per-shard summary budget as a fraction of Size(G)
 	// (default 0.5) — the k of Alg. 3, expressed relatively.
 	BudgetRatio float64
-	// Targets personalizes the single-shard summary (ignored when sharded:
-	// each shard is personalized to the part it owns, per Alg. 3). Empty
-	// means non-personalized.
+	// Targets personalizes the summaries. Single-shard: the summary's
+	// target set (empty = non-personalized). Sharded: each shard i is
+	// personalized to the intersection of its partition part with Targets,
+	// while parts containing no target are untouched and keep their
+	// whole-part personalization (Alg. 3) — so a hot reconfiguration that
+	// changes targets inside one part rebuilds only that shard.
 	Targets []graph.NodeID
 	// Alpha is the degree of personalization (default 1.25).
 	Alpha float64

@@ -187,9 +187,15 @@ type QueryResponse struct {
 }
 
 // SummarizeRequest is the JSON body of POST /v1/summarize. Absent (or null)
-// fields keep the current setting; a present-but-empty targets list
-// switches to a non-personalized summary. Targets are ignored on sharded
-// servers (each shard stays personalized to the part it owns).
+// fields keep the current setting; on single-shard servers a
+// present-but-empty targets list switches to a non-personalized summary.
+// On sharded servers, each shard's resolved target set is the intersection
+// of its partition part with the requested targets, and a part containing
+// no requested target keeps its whole-part personalization — so an
+// explicitly empty list resets every part to whole-part personalization,
+// rebuilding only the shards that were restricted. A request that changes
+// targets within one part therefore rebuilds only that shard, and the
+// response reports how many shards were rebuilt vs reused.
 type SummarizeRequest struct {
 	Targets *[]uint32 `json:"targets"`
 	// BudgetRatio replaces the per-shard budget when present; it must be a
@@ -219,11 +225,24 @@ func (r SummarizeRequest) validate() string {
 	return ""
 }
 
-// ReportResponse is the JSON answer of GET /v1/summary/report and
-// POST /v1/summarize.
+// ReportResponse is the JSON answer of GET /v1/summary/report.
 type ReportResponse struct {
 	Generation uint64           `json:"generation"`
 	Shards     []summary.Report `json:"shards"`
+}
+
+// SummarizeResponse is the JSON answer of POST /v1/summarize: the new
+// report plus the incremental-rebuild outcome. rebuilt + reused equals the
+// shard count; a no-op request (nothing effectively changed) reports
+// rebuilt 0, reused m.
+type SummarizeResponse struct {
+	ReportResponse
+	// Rebuilt is the number of shards whose summary was built from scratch
+	// because their content key (targets, budget, alpha, graph) changed.
+	Rebuilt int `json:"rebuilt"`
+	// Reused is the number of shards whose previous summary was
+	// transplanted bit-identically (their cached query answers survive).
+	Reused int `json:"reused"`
 }
 
 type errorResponse struct {
@@ -427,8 +446,10 @@ func fillResult(scores *[]float64, dist *[]int32, top *[]NodeScore, kind string,
 }
 
 // plan returns the cache key and compute closure for one query. The key
-// carries the backend generation, so results computed against a replaced
-// backend can never be served after a re-summarize.
+// carries the generation of the shard that answers it (backendBox.sgen) —
+// rebuilt shards advance their generation so stale results can never be
+// served, while shards an incremental rebuild transplanted keep theirs, so
+// their cached answers (bit-identical artifacts) keep hitting.
 //
 // Compute closures acquire the bounded worker pool themselves and must be
 // invoked WITHOUT holding a pool slot: a closure may wait on another
@@ -487,16 +508,23 @@ func (s *Server) metricPlan(box *backendBox, sess queries.Session, metric string
 			return out, err
 		}
 	}
+	// Every key embeds the generation of the answering shard, not the
+	// global backend generation: node-scoped queries (rwr/php/hop/topk)
+	// belong to exactly one shard, and pagerank is shard-scoped by
+	// construction. The node→shard routing is stable across rebuilds (the
+	// partition inputs are not hot-reconfigurable), so a shard generation
+	// fully qualifies the artifact a key was computed against.
+	sgen := box.sgen(shard)
 	switch metric {
 	case "hop":
-		return fmt.Sprintf("g%d|hop|n%d", box.gen, q),
+		return fmt.Sprintf("g%d|hop|n%d", sgen, q),
 			pooled(func(ctx context.Context) (any, error) {
 				_ = ctx // BFS is single-pass; bounded by the pool, not the context
 				return box.be.hop(q)
 			})
 	case "php":
 		cfg := queries.PHPConfig{C: p.c, Eps: p.eps, MaxIter: p.maxIter}
-		return fmt.Sprintf("g%d|php|n%d|c%g,e%g,i%d", box.gen, q, cfg.C, cfg.Eps, cfg.MaxIter),
+		return fmt.Sprintf("g%d|php|n%d|c%g,e%g,i%d", sgen, q, cfg.C, cfg.Eps, cfg.MaxIter),
 			pooled(func(ctx context.Context) (any, error) {
 				cfg := cfg
 				cfg.Ctx = ctx
@@ -504,7 +532,7 @@ func (s *Server) metricPlan(box *backendBox, sess queries.Session, metric string
 			})
 	case "pagerank":
 		cfg := queries.PageRankConfig{Damping: p.damping, Eps: p.eps, MaxIter: p.maxIter}
-		return fmt.Sprintf("g%d|pagerank|s%d|d%g,e%g,i%d", box.gen, shard, cfg.Damping, cfg.Eps, cfg.MaxIter),
+		return fmt.Sprintf("g%d|pagerank|s%d|d%g,e%g,i%d", sgen, shard, cfg.Damping, cfg.Eps, cfg.MaxIter),
 			pooled(func(ctx context.Context) (any, error) {
 				cfg := cfg
 				cfg.Ctx = ctx
@@ -512,7 +540,7 @@ func (s *Server) metricPlan(box *backendBox, sess queries.Session, metric string
 			})
 	default: // rwr
 		cfg := queries.RWRConfig{Restart: p.restart, Eps: p.eps, MaxIter: p.maxIter}
-		return fmt.Sprintf("g%d|rwr|n%d|r%g,e%g,i%d", box.gen, q, cfg.Restart, cfg.Eps, cfg.MaxIter),
+		return fmt.Sprintf("g%d|rwr|n%d|r%g,e%g,i%d", sgen, q, cfg.Restart, cfg.Eps, cfg.MaxIter),
 			pooled(func(ctx context.Context) (any, error) {
 				cfg := cfg
 				cfg.Ctx = ctx
@@ -563,14 +591,18 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		}
 		return cfg
 	}
-	if err := s.rebuild(r.Context(), apply); err != nil {
+	box, stats, err := s.rebuild(r.Context(), apply)
+	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	box := s.current()
-	writeJSON(w, http.StatusOK, ReportResponse{
-		Generation: box.gen,
-		Shards:     box.be.reports(),
+	writeJSON(w, http.StatusOK, SummarizeResponse{
+		ReportResponse: ReportResponse{
+			Generation: box.gen,
+			Shards:     box.be.reports(),
+		},
+		Rebuilt: stats.Rebuilt,
+		Reused:  stats.Reused,
 	})
 }
 

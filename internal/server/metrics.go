@@ -29,6 +29,10 @@ type Metrics struct {
 	batchItems  atomic.Uint64
 	batchGroups atomic.Uint64
 
+	rebuilds      atomic.Uint64
+	shardsRebuilt atomic.Uint64
+	shardsReused  atomic.Uint64
+
 	latency [histBuckets]atomic.Uint64
 	latSum  atomic.Uint64 // microseconds
 
@@ -89,6 +93,15 @@ func (m *Metrics) ObserveBatch(items, groups int) {
 	m.batchGroups.Add(uint64(groups))
 }
 
+// ObserveRebuild records one POST /v1/summarize rebuild: how many shard
+// summaries were rebuilt from scratch and how many were transplanted from
+// the previous backend.
+func (m *Metrics) ObserveRebuild(rebuilt, reused int) {
+	m.rebuilds.Add(1)
+	m.shardsRebuilt.Add(uint64(rebuilt))
+	m.shardsReused.Add(uint64(reused))
+}
+
 // ObserveCache records a cache lookup outcome.
 func (m *Metrics) ObserveCache(s CacheStatus) {
 	switch s {
@@ -141,6 +154,21 @@ type BatchMetrics struct {
 	AvgFanout float64 `json:"avg_fanout"`
 }
 
+// RebuildMetrics is the incremental-rebuild section of a metrics snapshot.
+type RebuildMetrics struct {
+	// Count is the number of successful POST /v1/summarize rebuilds.
+	Count uint64 `json:"count"`
+	// ShardsRebuilt is the total number of shard summaries built from
+	// scratch across all rebuilds.
+	ShardsRebuilt uint64 `json:"shards_rebuilt"`
+	// ShardsReused is the total number of shard summaries transplanted
+	// bit-identically instead of rebuilt.
+	ShardsReused uint64 `json:"shards_reused"`
+	// ReuseRate is ShardsReused / (ShardsRebuilt + ShardsReused) — how much
+	// summarization work incremental rebuilds saved.
+	ReuseRate float64 `json:"reuse_rate"`
+}
+
 // CacheMetrics is the cache section of a metrics snapshot.
 type CacheMetrics struct {
 	Hits    uint64  `json:"hits"`
@@ -163,6 +191,7 @@ type Snapshot struct {
 	LatencyP99Ms  float64           `json:"latency_p99_ms"`
 	Cache         CacheMetrics      `json:"cache"`
 	Batch         BatchMetrics      `json:"batch"`
+	Rebuild       RebuildMetrics    `json:"rebuild"`
 	Endpoints     map[string]uint64 `json:"endpoints"`
 	ShardQueries  []uint64          `json:"shard_queries"`
 	InFlight      int               `json:"in_flight"`
@@ -211,6 +240,14 @@ func (m *Metrics) SnapshotNow(cacheEntries, inFlight int, generation uint64) Sna
 	if s.Batch.Count > 0 {
 		s.Batch.AvgSize = float64(s.Batch.Items) / float64(s.Batch.Count)
 		s.Batch.AvgFanout = float64(s.Batch.ShardGroups) / float64(s.Batch.Count)
+	}
+	s.Rebuild = RebuildMetrics{
+		Count:         m.rebuilds.Load(),
+		ShardsRebuilt: m.shardsRebuilt.Load(),
+		ShardsReused:  m.shardsReused.Load(),
+	}
+	if total := s.Rebuild.ShardsRebuilt + s.Rebuild.ShardsReused; total > 0 {
+		s.Rebuild.ReuseRate = float64(s.Rebuild.ShardsReused) / float64(total)
 	}
 	m.mu.Lock()
 	for name, c := range m.endpoints {

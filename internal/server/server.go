@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pegasus/internal/distributed"
 	"pegasus/internal/graph"
 )
 
@@ -38,6 +39,10 @@ type Server struct {
 	cache   *Cache
 	pool    *Pool
 	metrics *Metrics
+	// graphToken is distributed.GraphToken(g), computed once — the graph is
+	// immutable for the server's lifetime — and folded into every shard
+	// content key.
+	graphToken string
 
 	// mu guards backend swaps (POST /v1/summarize) and buildCfg; the atomics
 	// below make reads lock-free on the query path.
@@ -55,6 +60,24 @@ type Server struct {
 type backendBox struct {
 	be  backend
 	gen uint64
+	// keys are the per-shard content keys of this build (nil when the
+	// config was not fingerprintable).
+	keys []string
+	// shardGens are the per-shard generations the cache keys embed: a shard
+	// transplanted by an incremental rebuild keeps the generation of the
+	// build that actually produced its artifact, so cached results for that
+	// shard — bit-identical by the content-key argument — stay addressable
+	// across the rebuild. Rebuilt shards adopt the new generation, which
+	// orphans their old entries (LRU pressure evicts them).
+	shardGens []uint64
+}
+
+// sgen returns the cache-key generation of one shard.
+func (b *backendBox) sgen(shard int) uint64 {
+	if shard >= 0 && shard < len(b.shardGens) {
+		return b.shardGens[shard]
+	}
+	return b.gen
 }
 
 // New builds the serving artifact for g per cfg (this runs summarization and
@@ -70,19 +93,25 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Server, error) {
 	if g == nil || g.NumNodes() == 0 {
 		return nil, errors.New("server: nil or empty graph")
 	}
-	be, err := buildBackend(ctx, g, cfg)
+	token := distributed.GraphToken(g)
+	be, keys, _, err := buildBackend(ctx, g, cfg, token, nil)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		g:        g,
-		buildCfg: cfg,
-		cache:    NewCache(cfg.CacheEntries),
-		pool:     NewPool(cfg.Workers),
-		metrics:  NewMetrics(be.numShards()),
+		cfg:        cfg,
+		g:          g,
+		graphToken: token,
+		buildCfg:   cfg,
+		cache:      NewCache(cfg.CacheEntries),
+		pool:       NewPool(cfg.Workers),
+		metrics:    NewMetrics(be.numShards()),
 	}
-	s.backend.Store(&backendBox{be: be, gen: 1})
+	shardGens := make([]uint64, be.numShards())
+	for i := range shardGens {
+		shardGens[i] = 1
+	}
+	s.backend.Store(&backendBox{be: be, gen: 1, keys: keys, shardGens: shardGens})
 	s.gen.Store(1)
 	return s, nil
 }
@@ -96,24 +125,55 @@ func (s *Server) Graph() *graph.Graph { return s.g }
 // current returns the active backend and its generation.
 func (s *Server) current() *backendBox { return s.backend.Load() }
 
-// rebuild replaces the backend, bumps the generation, and purges the cache.
+// rebuild replaces the backend incrementally and bumps the generation:
+// only shards whose content key changed are rebuilt, the rest transplant
+// their summaries (and keep their per-shard cache generation, so their
+// cached answers — including ranked top-k entries — survive the swap).
 // apply derives the new build config from the current one; it runs under
 // s.mu so concurrent re-summarize requests compose instead of losing each
 // other's overrides. Rebuilds serialize on s.mu; queries keep flowing
-// against the old backend until the swap.
-func (s *Server) rebuild(ctx context.Context, apply func(Config) Config) error {
+// against the old backend until the swap. Returns the box it stored plus
+// the per-shard build stats, so the /v1/summarize response describes this
+// rebuild even when a concurrent one lands right after.
+func (s *Server) rebuild(ctx context.Context, apply func(Config) Config) (*backendBox, distributed.BuildStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cfg := apply(s.buildCfg)
-	be, err := buildBackend(ctx, s.g, cfg)
+	old := s.current()
+	be, keys, stats, err := buildBackend(ctx, s.g, cfg, s.graphToken, old)
 	if err != nil {
-		return err
+		return nil, stats, err
 	}
 	gen := s.gen.Add(1)
-	s.backend.Store(&backendBox{be: be, gen: gen})
+	// Carry a reused shard's generation forward ONLY on a same-index key
+	// match. Cache keys are node-scoped and do not name the shard, so the
+	// carried generation must certify "shard i's artifact is unchanged" —
+	// a cross-index transplant (shard i reusing a machine that sat at
+	// index j of the previous cluster) still saves the build but must take
+	// the new generation, or entries node→shard-i cached under shard i's
+	// old artifact could be served against the transplanted one.
+	shardGens := make([]uint64, be.numShards())
+	for i := range shardGens {
+		shardGens[i] = gen
+		if i < len(stats.ReusedShards) && stats.ReusedShards[i] &&
+			i < len(keys) && i < len(old.keys) && i < len(old.shardGens) &&
+			keys[i] != "" && keys[i] == old.keys[i] {
+			shardGens[i] = old.shardGens[i]
+		}
+	}
+	box := &backendBox{be: be, gen: gen, keys: keys, shardGens: shardGens}
+	s.backend.Store(box)
 	s.buildCfg = cfg
-	s.cache.Purge()
-	return nil
+	// Cache retention rule: when at least one shard was reused, its entries
+	// (addressed by the carried-over shard generation) are still valid and
+	// stay; stale entries of rebuilt shards are unreachable — their shard
+	// generation advanced — and age out under LRU pressure. A full rebuild
+	// has nothing worth keeping, so purge eagerly.
+	if stats.Reused == 0 {
+		s.cache.Purge()
+	}
+	s.metrics.ObserveRebuild(stats.Rebuilt, stats.Reused)
+	return box, stats, nil
 }
 
 // Addr returns the bound listener address once Run is serving ("" before).

@@ -92,4 +92,16 @@ func SummaryRWRBatch(s *Summary, qs []NodeID, cfg RWRConfig) ([][]float64, error
 	return queries.SummaryRWRBatch(s, qs, cfg)
 }
 
+// PHPBatch answers PHP for every node of qs over one Oracle through a
+// shared QuerySession — PHP shares the RWR precompute, so a batch pays the
+// weighted-degree scan once instead of once per node.
+func PHPBatch(o Oracle, qs []NodeID, cfg PHPConfig) ([][]float64, error) {
+	return queries.PHPBatch(o, qs, cfg)
+}
+
+// SummaryPHPBatch is PHPBatch over the block-accelerated summary evaluator.
+func SummaryPHPBatch(s *Summary, qs []NodeID, cfg PHPConfig) ([][]float64, error) {
+	return queries.SummaryPHPBatch(s, qs, cfg)
+}
+
 var _ = graph.NodeID(0) // keep the graph import explicit for NodeID's origin

@@ -36,6 +36,14 @@ type (
 	BatchResponse = server.BatchResponse
 	// BatchItem is the per-node answer inside a BatchResponse.
 	BatchItem = server.BatchItem
+	// SummarizeRequest is the JSON body of POST /v1/summarize (pointer
+	// fields: absent keeps the current setting; on sharded servers each
+	// shard's target set is its partition part ∩ the requested targets).
+	SummarizeRequest = server.SummarizeRequest
+	// SummarizeResponse is the JSON answer of POST /v1/summarize: the new
+	// per-shard report plus the incremental-rebuild outcome (rebuilt /
+	// reused shard counts).
+	SummarizeResponse = server.SummarizeResponse
 	// MetricsSnapshot is the JSON answer of GET /metrics.
 	MetricsSnapshot = server.Snapshot
 )
