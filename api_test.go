@@ -2,6 +2,8 @@ package pegasus_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"path/filepath"
 	"testing"
@@ -221,5 +223,66 @@ func TestPublicAPIPartitionAndCluster(t *testing.T) {
 	}
 	if _, err := c2.HOP(0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIArtifactStore(t *testing.T) {
+	g := pegasus.GenerateSBM(200, 4, 8, 0.1, 3)
+	g, _ = pegasus.LargestComponent(g)
+	labels := make([]uint32, g.NumNodes())
+	for u := range labels {
+		labels[u] = uint32(u % 4)
+	}
+	budget := 0.5 * g.SizeBits()
+	store, err := pegasus.OpenArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := pegasus.Config{Seed: 2, Workers: 1}
+	cold, st, err := pegasus.BuildSummaryClusterIncremental(ctx, g, labels, 4, budget, cfg,
+		pegasus.ClusterBuildOptions{Workers: 1, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rebuilt != 4 || st.Loaded != 0 {
+		t.Fatalf("cold: rebuilt=%d loaded=%d, want 4/0", st.Rebuilt, st.Loaded)
+	}
+	warm, st, err := pegasus.BuildSummaryClusterIncremental(ctx, g, labels, 4, budget, cfg,
+		pegasus.ClusterBuildOptions{Workers: 1, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loaded != 4 || st.Rebuilt != 0 {
+		t.Fatalf("warm: loaded=%d rebuilt=%d, want 4/0", st.Loaded, st.Rebuilt)
+	}
+	var a, b bytes.Buffer
+	if err := cold.Machines[0].Summary.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Machines[0].Summary.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("warm-loaded shard differs from cold build")
+	}
+	if stats := store.Stats(); stats.Hits != 4 || stats.Puts != 4 {
+		t.Fatalf("store stats = %+v, want 4 hits, 4 puts", stats)
+	}
+
+	// The codec round-trips through the exported wrappers, and damage is
+	// typed.
+	var enc bytes.Buffer
+	if err := pegasus.EncodeArtifact(&enc, pegasus.Artifact{Summary: cold.Machines[1].Summary}); err != nil {
+		t.Fatal(err)
+	}
+	art, err := pegasus.DecodeArtifact(enc.Bytes())
+	if err != nil || art.Summary == nil {
+		t.Fatalf("decode: %v", err)
+	}
+	raw := enc.Bytes()
+	raw[len(raw)/2] ^= 0x10
+	if _, err := pegasus.DecodeArtifact(raw); !errors.Is(err, pegasus.ErrArtifactCorrupt) {
+		t.Fatalf("flipped byte: err = %v, want ErrArtifactCorrupt", err)
 	}
 }

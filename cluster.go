@@ -96,6 +96,12 @@ type ClusterBuildOptions struct {
 	// The transplanted artifacts are bit-identical to what a from-scratch
 	// build would produce, so reuse only changes build time.
 	Prev *Cluster
+	// Store is an on-disk artifact store (OpenArtifactStore) consulted
+	// after Prev: shards whose content key is filed there decode the
+	// artifact instead of rebuilding — a warm start from a populated store
+	// summarizes nothing — and freshly built shards are persisted back
+	// best-effort. Corrupt or version-mismatched artifacts are rebuilt.
+	Store *ArtifactStore
 }
 
 // BuildSummaryClusterIncremental is the reuse-aware cluster build: it
@@ -126,6 +132,7 @@ func BuildSummaryClusterIncremental(ctx context.Context, g *Graph, labels []uint
 			Targets:   opts.Targets,
 			ConfigKey: key,
 			Prev:      opts.Prev,
+			Store:     opts.Store,
 		})
 }
 

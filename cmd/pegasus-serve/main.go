@@ -10,6 +10,7 @@
 //
 //	pegasus-serve -graph g.txt -addr :8080
 //	pegasus-serve -gen-nodes 5000 -shards 4 -partition louvain -budget 0.3
+//	pegasus-serve -graph g.txt -shards 4 -cache-dir /var/cache/pegasus   # warm restarts
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/query/rwr -d '{"node": 42}'
@@ -51,6 +52,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent query computations (0 = GOMAXPROCS)")
 		batchMax = flag.Int("batch-max", 256, "max query nodes per POST /v1/query/batch request")
 		bworkers = flag.Int("build-workers", 0, "build-pipeline goroutines for startup and hot rebuilds (0 = GOMAXPROCS, 1 = sequential; artifact is identical either way)")
+		cacheDir = flag.String("cache-dir", "", "directory for disk-backed shard artifacts: shards are persisted under their content keys and restarts warm-start from disk instead of rebuilding (empty disables)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-query timeout")
 	)
 	flag.Parse()
@@ -87,6 +89,7 @@ func main() {
 		Workers:         *workers,
 		BatchMax:        *batchMax,
 		BuildWorkers:    *bworkers,
+		CacheDir:        *cacheDir,
 		QueryTimeout:    *timeout,
 	}
 
@@ -99,6 +102,11 @@ func main() {
 	s, err := pegasus.NewServer(ctx, g, cfg)
 	if err != nil {
 		fatal("build: %v", err)
+	}
+	if *cacheDir != "" {
+		bs := s.BootStats()
+		fmt.Printf("artifact cache %s: %d shard(s) loaded from disk, %d built (and persisted)\n",
+			*cacheDir, bs.Loaded, bs.Rebuilt)
 	}
 	fmt.Printf("ready in %v; serving on %s\n", time.Since(start).Round(time.Millisecond), *addr)
 	if err := s.Run(ctx); err != nil {

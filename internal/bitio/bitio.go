@@ -8,8 +8,10 @@ package bitio
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Writer encodes varints and delta-coded sequences.
@@ -39,6 +41,21 @@ func (w *Writer) PutUvarint(x uint64) {
 	if w.err = w.w.WriteByte(byte(x)); w.err == nil {
 		w.n++
 	}
+}
+
+// PutFloat64 writes the IEEE-754 bit pattern of x as 8 little-endian bytes.
+// Float bits spread across the whole word, so a varint would usually cost
+// more than the fixed width; the exact bit pattern round-trips (including
+// NaN payloads and infinities).
+func (w *Writer) PutFloat64(x float64) {
+	if w.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+	n, err := w.w.Write(buf[:])
+	w.n += int64(n)
+	w.err = err
 }
 
 // PutDeltas writes a strictly increasing uint32 sequence as a count followed
@@ -110,6 +127,30 @@ func (r *Reader) Uvarint() uint64 {
 	}
 }
 
+// Float64 reads a float written by PutFloat64.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		r.err = err
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+// Exhausted reports whether the stream has no bytes left. It consumes one
+// byte when the stream is non-empty, so call it only after the final read —
+// it is the decoder's trailing-garbage check.
+func (r *Reader) Exhausted() bool {
+	if r.err != nil {
+		return false
+	}
+	_, err := r.r.ReadByte()
+	return err == io.EOF
+}
+
 // Deltas reads a sequence written by PutDeltas. maxLen guards against
 // corrupt counts.
 func (r *Reader) Deltas(maxLen int) []uint32 {
@@ -126,6 +167,13 @@ func (r *Reader) Deltas(maxLen int) []uint32 {
 	for i := 0; i < n; i++ {
 		v := r.Uvarint()
 		if r.err != nil {
+			return nil
+		}
+		// Reject the gap before adding: a near-2^64 varint would wrap
+		// prev+v+1 around uint64 and slip a NON-increasing sequence past the
+		// range check below — decoders rely on Deltas never doing that.
+		if v > 0xffffffff {
+			r.err = fmt.Errorf("bitio: value overflows uint32")
 			return nil
 		}
 		if i == 0 {

@@ -2,6 +2,7 @@ package bitio
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -151,5 +152,93 @@ func TestPropertyDeltasRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	values := []float64{0, 1, -1, 0.5, 1e-300, -1e300,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1), math.NaN(), math.Pi}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, v := range values {
+		w.PutFloat64(v)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8*len(values) {
+		t.Fatalf("encoded %d floats in %d bytes, want %d", len(values), buf.Len(), 8*len(values))
+	}
+	r := NewReader(&buf)
+	for i, v := range values {
+		got := r.Float64()
+		if r.Err() != nil {
+			t.Fatalf("float %d: %v", i, r.Err())
+		}
+		// Compare bit patterns: NaN payloads must survive exactly.
+		if math.Float64bits(got) != math.Float64bits(v) {
+			t.Errorf("float %d: got %v (bits %x), want %v (bits %x)",
+				i, got, math.Float64bits(got), v, math.Float64bits(v))
+		}
+	}
+	if !r.Exhausted() {
+		t.Error("stream not exhausted after reading every float")
+	}
+}
+
+func TestFloat64Truncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.PutFloat64(math.Pi)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()[:5]))
+	r.Float64()
+	if r.Err() == nil {
+		t.Error("reading a truncated float succeeded")
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{7}))
+	if r.Exhausted() {
+		t.Error("non-empty stream reported exhausted")
+	}
+	// Exhausted consumed the remaining byte; now the stream is empty.
+	if !NewReader(bytes.NewReader(nil)).Exhausted() {
+		t.Error("empty stream not exhausted")
+	}
+	// A reader with a pending error never reports exhausted.
+	bad := NewReader(bytes.NewReader([]byte{0x80})) // unterminated varint
+	bad.Uvarint()
+	if bad.Err() == nil {
+		t.Fatal("unterminated varint read succeeded")
+	}
+	if bad.Exhausted() {
+		t.Error("errored reader reported exhausted")
+	}
+}
+
+// TestDeltasRejectWraparound: a gap varint near 2^64 must not wrap
+// prev+v+1 around uint64 and smuggle a NON-increasing sequence past the
+// uint32 range check — persist.Decode's canonicality contract depends on
+// Deltas only ever returning strictly increasing values.
+func TestDeltasRejectWraparound(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.PutUvarint(6)                  // claimed length
+	w.PutUvarint(5)                  // first value
+	w.PutUvarint(math.MaxUint64 - 5) // gap: 5 + (2^64-6) + 1 wraps to 0
+	for _, g := range []uint64{0, 0, 0, 0} {
+		w.PutUvarint(g)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.Deltas(10); r.Err() == nil {
+		t.Fatalf("wraparound sequence decoded as %v", got)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"pegasus/internal/core"
 	"pegasus/internal/graph"
 	"pegasus/internal/par"
+	"pegasus/internal/persist"
 	"pegasus/internal/queries"
 	"pegasus/internal/summary"
 )
@@ -231,6 +232,17 @@ type BuildOpts struct {
 	// worker-count invariant), so reuse is undetectable except in build
 	// time. Requires ConfigKey; Prev clusters without Keys are ignored.
 	Prev *Cluster
+	// Store is an on-disk artifact store consulted per shard after Prev:
+	// a shard whose content key is filed in the store decodes that artifact
+	// instead of rebuilding (the disk twin of a Prev transplant — equal keys
+	// imply bit-identical artifacts, so a disk hit honors the same
+	// bit-identity contract), and freshly built shards are written back
+	// best-effort under their keys, making the next cold start warm.
+	// Requires ConfigKey; corrupt or version-mismatched artifacts are
+	// treated as absent and the shard is rebuilt. Unkeyable builds (empty
+	// ConfigKey) never touch the store — their artifacts would be filed
+	// under no reachable name.
+	Store *persist.Store
 }
 
 // BuildSummaryClusterCtx is BuildSummaryCluster with cooperative
@@ -265,6 +277,7 @@ func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32
 
 	c := &Cluster{Assign: labels, Machines: make([]*Machine, m)}
 	stats.ReusedShards = make([]bool, m)
+	stats.LoadedShards = make([]bool, m)
 	toBuild := make([]int, 0, m)
 	if opts.ConfigKey != "" {
 		token := opts.GraphToken
@@ -299,7 +312,12 @@ func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32
 			toBuild = append(toBuild, i)
 		}
 	}
-	stats.Rebuilt = len(toBuild)
+	// The store is only addressable through content keys; without them it
+	// would file artifacts under no reachable name, so it is ignored.
+	store := opts.Store
+	if opts.ConfigKey == "" {
+		store = nil
+	}
 
 	buildCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -311,6 +329,18 @@ func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32
 			errs[i] = err
 			return
 		}
+		if store != nil {
+			// Disk twin of the Prev transplant: the key certifies the bytes,
+			// so a decoded artifact is bit-identical to what a rebuild would
+			// produce. Errors (corrupt, version-mismatched) demote to a
+			// rebuild; the node-count check guards against a foreign or
+			// hash-colliding file sneaking past the key.
+			if a, ok, _ := store.Get(c.Keys[i]); ok && a.Summary != nil && a.Summary.NumNodes() == g.NumNodes() {
+				c.Machines[i] = &Machine{Summary: a.Summary}
+				stats.LoadedShards[i] = true
+				return
+			}
+		}
 		s, err := summarize(buildCtx, g, targets[i], budgetBits)
 		if err != nil {
 			errs[i] = err
@@ -318,7 +348,18 @@ func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32
 			return
 		}
 		c.Machines[i] = &Machine{Summary: s}
+		if store != nil {
+			// Best-effort persistence: a failed write costs the next boot a
+			// rebuild, not this one; the store counts the error.
+			_ = store.Put(c.Keys[i], persist.Artifact{Summary: s})
+		}
 	})
+	for _, loaded := range stats.LoadedShards {
+		if loaded {
+			stats.Loaded++
+		}
+	}
+	stats.Rebuilt = len(toBuild) - stats.Loaded
 
 	// A cancelled caller context is not any machine's fault; report it as
 	// plain ctx.Err() rather than blaming whichever shard noticed first.

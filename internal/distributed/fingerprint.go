@@ -58,13 +58,23 @@ func ShardKey(graphToken string, targets []graph.NodeID, budgetBits float64, cfg
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// BuildStats reports how an incremental cluster build satisfied each shard.
+// BuildStats reports how an incremental cluster build satisfied each shard:
+// every shard is exactly one of rebuilt, reused (in-memory transplant from
+// Prev), or loaded (decoded from the artifact store), so
+// Rebuilt + Reused + Loaded equals the machine count.
 type BuildStats struct {
 	// Rebuilt is the number of shards whose summary was built from scratch.
 	Rebuilt int
 	// Reused is the number of shards transplanted from the previous cluster.
 	Reused int
+	// Loaded is the number of shards decoded from the on-disk artifact
+	// store (BuildOpts.Store) — disk hits with the same bit-identity
+	// guarantee as Reused.
+	Loaded int
 	// ReusedShards[i] reports whether shard i was transplanted (always
 	// len m; all false when reuse was not possible).
 	ReusedShards []bool
+	// LoadedShards[i] reports whether shard i was decoded from the store
+	// (always len m; all false when no store was configured).
+	LoadedShards []bool
 }

@@ -1,0 +1,364 @@
+// Package persist makes shard artifacts durable: a versioned, checksummed
+// binary codec for the two artifact kinds a distributed.Machine can hold —
+// a personalized summary.Summary or a local subgraph — plus a
+// content-addressed Store that files each encoded artifact under its shard
+// content key (distributed.ShardKey). Together they turn the paper's §IV
+// deployment, which holds one personalized summary per machine, into a
+// restartable one: a rebooted server decodes its cluster from disk instead
+// of re-running summarization, and clusters whose m×budget exceeds RAM can
+// page artifacts in by key.
+//
+// The codec is canonical: Encode(Decode(x)) == x byte-for-byte for every x
+// Encode produces, which is what lets a disk hit honor the same bit-identity
+// contract as in-memory shard reuse (equal content keys imply bit-identical
+// artifacts, on disk or off).
+//
+// File layout (version 1):
+//
+//	offset 0  magic "PGAR" (4 bytes)
+//	offset 4  version (1 byte)
+//	offset 5  kind (1 byte: 1 = summary, 2 = subgraph)
+//	offset 6  payload (bitio varints + delta-coded sorted lists)
+//	trailer   CRC-32 (IEEE, little-endian) over everything before it
+//
+// Decoding never panics on corrupt input: every structural violation —
+// truncation, bit flips, bad magic, trailing garbage, non-canonical
+// shapes — returns an error wrapping ErrCorrupt, and a version this build
+// does not understand returns one wrapping ErrVersion, so callers can fall
+// back to rebuilding the shard.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"pegasus/internal/bitio"
+	"pegasus/internal/graph"
+	"pegasus/internal/summary"
+)
+
+var (
+	// ErrCorrupt marks an artifact that is structurally invalid: truncated,
+	// checksum-mismatched, or carrying an impossible payload. Callers should
+	// treat the artifact as absent and rebuild.
+	ErrCorrupt = errors.New("corrupt artifact")
+	// ErrVersion marks an artifact written by a codec version this build does
+	// not understand (its checksum is intact — the file is fine, the reader
+	// is old). Callers should treat the artifact as absent and rebuild.
+	ErrVersion = errors.New("unsupported artifact version")
+)
+
+var artifactMagic = [4]byte{'P', 'G', 'A', 'R'}
+
+const (
+	codecVersion = 1
+
+	kindSummary  = 1
+	kindSubgraph = 2
+
+	// trailerLen is the CRC-32 trailer size; headerLen the fixed prefix.
+	trailerLen = 4
+	headerLen  = 6
+)
+
+// Artifact is one machine's persistable payload: exactly one of Summary and
+// Subgraph is non-nil (mirroring distributed.Machine, which persist cannot
+// import without a cycle — distributed consumes this package).
+type Artifact struct {
+	Summary  *summary.Summary
+	Subgraph *graph.Graph
+}
+
+// Encode writes the artifact to w in the versioned, checksummed format.
+func Encode(w io.Writer, a Artifact) error {
+	raw, err := EncodeBytes(a)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// EncodeBytes encodes the artifact into a byte slice.
+func EncodeBytes(a Artifact) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(artifactMagic[:])
+	buf.WriteByte(codecVersion)
+	switch {
+	case a.Summary != nil && a.Subgraph == nil:
+		buf.WriteByte(kindSummary)
+		if err := encodeSummary(&buf, a.Summary); err != nil {
+			return nil, err
+		}
+	case a.Subgraph != nil && a.Summary == nil:
+		buf.WriteByte(kindSubgraph)
+		if err := encodeSubgraph(&buf, a.Subgraph); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("persist: artifact must hold exactly one of summary and subgraph")
+	}
+	var crc [trailerLen]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
+	return buf.Bytes(), nil
+}
+
+// Decode parses an artifact from data. It accepts only complete, canonical,
+// checksum-intact encodings; anything else yields ErrCorrupt or ErrVersion
+// (wrapped with detail), never a panic.
+func Decode(data []byte) (Artifact, error) {
+	if len(data) < headerLen+trailerLen {
+		return Artifact{}, fmt.Errorf("persist: %d-byte file shorter than header+trailer: %w", len(data), ErrCorrupt)
+	}
+	if !bytes.Equal(data[:4], artifactMagic[:]) {
+		return Artifact{}, fmt.Errorf("persist: bad magic %q: %w", data[:4], ErrCorrupt)
+	}
+	body, trailer := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return Artifact{}, fmt.Errorf("persist: checksum mismatch (file %08x, computed %08x): %w", want, got, ErrCorrupt)
+	}
+	// Version is checked after the checksum so a future-version file — whose
+	// payload this build cannot parse but whose bytes are intact — reports
+	// ErrVersion, while a bit flip that happens to land on the version byte
+	// still reports ErrCorrupt.
+	if v := body[4]; v != codecVersion {
+		return Artifact{}, fmt.Errorf("persist: artifact version %d (this build reads %d): %w", v, codecVersion, ErrVersion)
+	}
+	kind, payload := body[5], body[6:]
+	r := bitio.NewReader(bytes.NewReader(payload))
+	var a Artifact
+	var err error
+	switch kind {
+	case kindSummary:
+		a.Summary, err = decodeSummary(r, len(payload))
+	case kindSubgraph:
+		a.Subgraph, err = decodeSubgraph(r, len(payload))
+	default:
+		return Artifact{}, fmt.Errorf("persist: unknown artifact kind %d: %w", kind, ErrCorrupt)
+	}
+	if err != nil {
+		return Artifact{}, err
+	}
+	// Canonical encodings have nothing between the payload and the trailer;
+	// trailing garbage (which the CRC would bless, being computed over it)
+	// must not decode.
+	if !r.Exhausted() {
+		return Artifact{}, fmt.Errorf("persist: trailing bytes after payload: %w", ErrCorrupt)
+	}
+	return a, nil
+}
+
+const (
+	flagWeighted = 1 << 0
+)
+
+// encodeSummary writes the summary payload: |V|, |S|, flags, the per-
+// supernode sorted member lists, the upper-triangle (b >= a) sorted
+// superneighbor lists, then — for weighted summaries only — the weight of
+// each upper-triangle superedge in list order. Member and neighbor lists
+// are delta+varint coded; all-1 weights are elided entirely.
+func encodeSummary(w io.Writer, s *summary.Summary) error {
+	bw := bitio.NewWriter(w)
+	n, ns := s.NumNodes(), s.NumSupernodes()
+	bw.PutUvarint(uint64(n))
+	bw.PutUvarint(uint64(ns))
+	flags := uint64(0)
+	if s.Weighted() {
+		flags |= flagWeighted
+	}
+	bw.PutUvarint(flags)
+	for a := 0; a < ns; a++ {
+		bw.PutDeltas(s.Members(uint32(a)))
+	}
+	var upper []uint32
+	var weights []float64
+	for a := 0; a < ns; a++ {
+		upper = upper[:0]
+		s.ForEachSuperNeighbor(uint32(a), func(b uint32, wt float64) {
+			if b >= uint32(a) {
+				upper = append(upper, b)
+				if s.Weighted() {
+					weights = append(weights, wt)
+				}
+			}
+		})
+		bw.PutDeltas(upper)
+	}
+	for _, wt := range weights {
+		bw.PutFloat64(wt)
+	}
+	if err := bw.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// decodeSummary parses a summary payload, enforcing every invariant the
+// encoder guarantees: member lists partition [0,|V|), supernodes appear in
+// first-member order (so the rebuilt Builder's dense remap is the identity
+// and re-encoding is byte-stable), superedges stay in range, and weights are
+// positive with at least one ≠ 1 iff the weighted flag is set.
+func decodeSummary(r *bitio.Reader, payloadLen int) (*summary.Summary, error) {
+	n64 := r.Uvarint()
+	ns64 := r.Uvarint()
+	flags := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, corrupt("summary header", err)
+	}
+	// Every node contributes at least one byte to its member-list entry, so a
+	// node count beyond the payload length cannot be honest — reject before
+	// allocating.
+	if n64 > uint64(payloadLen) {
+		return nil, corrupt("node count", fmt.Errorf("|V|=%d exceeds %d payload bytes", n64, payloadLen))
+	}
+	if ns64 > n64 {
+		return nil, corrupt("supernode count", fmt.Errorf("|S|=%d exceeds |V|=%d", ns64, n64))
+	}
+	if flags&^flagWeighted != 0 {
+		return nil, corrupt("flags", fmt.Errorf("unknown flag bits %#x", flags))
+	}
+	n, ns := int(n64), int(ns64)
+	weighted := flags&flagWeighted != 0
+
+	superOf := make([]uint32, n)
+	seen := make([]bool, n)
+	prevFirst := int64(-1)
+	for a := 0; a < ns; a++ {
+		ms := r.Deltas(n)
+		if err := r.Err(); err != nil {
+			return nil, corrupt(fmt.Sprintf("members of supernode %d", a), err)
+		}
+		if len(ms) == 0 {
+			return nil, corrupt("members", fmt.Errorf("supernode %d is empty", a))
+		}
+		// First members strictly increase across supernodes exactly when the
+		// IDs follow first-occurrence order — the canonical labeling every
+		// Builder-built summary has. Anything else would re-encode
+		// differently, so it cannot have come from Encode.
+		if int64(ms[0]) <= prevFirst {
+			return nil, corrupt("members", fmt.Errorf("supernode %d out of first-occurrence order", a))
+		}
+		prevFirst = int64(ms[0])
+		for _, u := range ms {
+			if int(u) >= n {
+				return nil, corrupt("members", fmt.Errorf("node %d out of range (|V|=%d)", u, n))
+			}
+			if seen[u] {
+				return nil, corrupt("members", fmt.Errorf("node %d in two supernodes", u))
+			}
+			seen[u] = true
+			superOf[u] = uint32(a)
+		}
+	}
+	for u, ok := range seen {
+		if !ok {
+			return nil, corrupt("members", fmt.Errorf("node %d in no supernode", u))
+		}
+	}
+
+	type edge struct {
+		a, b uint32
+	}
+	var edges []edge
+	for a := 0; a < ns; a++ {
+		upper := r.Deltas(ns - a)
+		if err := r.Err(); err != nil {
+			return nil, corrupt(fmt.Sprintf("superneighbors of %d", a), err)
+		}
+		for _, b := range upper {
+			if b < uint32(a) || int(b) >= ns {
+				return nil, corrupt("superedge", fmt.Errorf("{%d,%d} outside the upper triangle of |S|=%d", a, b, ns))
+			}
+			edges = append(edges, edge{uint32(a), b})
+		}
+	}
+
+	b := summary.NewBuilder(superOf)
+	sawNonUnit := false
+	for _, e := range edges {
+		wt := 1.0
+		if weighted {
+			wt = r.Float64()
+			if err := r.Err(); err != nil {
+				return nil, corrupt("superedge weight", err)
+			}
+			// wt > 0 is false for NaN too, so this also keeps NaN out of the
+			// Builder (whose own check would let NaN through).
+			if !(wt > 0) {
+				return nil, corrupt("superedge weight", fmt.Errorf("non-positive weight %v on {%d,%d}", wt, e.a, e.b))
+			}
+			if wt != 1 {
+				sawNonUnit = true
+			}
+		}
+		b.AddSuperedge(e.a, e.b, wt)
+	}
+	if weighted && !sawNonUnit {
+		// All-1 weights encode with the flag clear; a set flag over unit
+		// weights is non-canonical and would not re-encode to itself.
+		return nil, corrupt("flags", errors.New("weighted flag set but every weight is 1"))
+	}
+	return b.Build(), nil
+}
+
+// encodeSubgraph writes the subgraph payload: |V| then each node's sorted
+// adjacency restricted to the upper triangle (v > u), delta+varint coded.
+func encodeSubgraph(w io.Writer, g *graph.Graph) error {
+	bw := bitio.NewWriter(w)
+	n := g.NumNodes()
+	bw.PutUvarint(uint64(n))
+	var upper []uint32
+	for u := 0; u < n; u++ {
+		upper = upper[:0]
+		for _, v := range g.Neighbors(uint32(u)) {
+			if v > uint32(u) {
+				upper = append(upper, v)
+			}
+		}
+		bw.PutDeltas(upper)
+	}
+	if err := bw.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// decodeSubgraph parses a subgraph payload back into a CSR graph spanning
+// the full recorded node-ID space (isolated trailing nodes included — the
+// §IV subgraph artifact spans all of V).
+func decodeSubgraph(r *bitio.Reader, payloadLen int) (*graph.Graph, error) {
+	n64 := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, corrupt("subgraph header", err)
+	}
+	// Each node's (possibly empty) adjacency list costs at least its 1-byte
+	// length varint.
+	if n64 > uint64(payloadLen) {
+		return nil, corrupt("node count", fmt.Errorf("|V|=%d exceeds %d payload bytes", n64, payloadLen))
+	}
+	n := int(n64)
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		vs := r.Deltas(n)
+		if err := r.Err(); err != nil {
+			return nil, corrupt(fmt.Sprintf("adjacency of node %d", u), err)
+		}
+		for _, v := range vs {
+			if v <= uint32(u) || int(v) >= n {
+				return nil, corrupt("edge", fmt.Errorf("{%d,%d} outside the upper triangle of |V|=%d", u, v, n))
+			}
+			edges = append(edges, graph.Edge{U: uint32(u), V: v})
+		}
+	}
+	return graph.FromEdges(n, edges), nil
+}
+
+// corrupt wraps a parse failure as ErrCorrupt with location detail.
+func corrupt(where string, err error) error {
+	return fmt.Errorf("persist: %s: %v: %w", where, err, ErrCorrupt)
+}

@@ -1,0 +1,327 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pegasus/internal/graph"
+	"pegasus/internal/summary"
+)
+
+// randomSummary builds a structurally valid summary over n nodes with up to
+// maxS supernode labels and nEdges random superedges. weighted draws random
+// positive weights (which may or may not include non-unit ones — the flag is
+// derived from the data, and both outcomes are worth round-tripping).
+func randomSummary(rng *rand.Rand, n, maxS, nEdges int, weighted bool) *summary.Summary {
+	superOf := make([]uint32, n)
+	for u := range superOf {
+		superOf[u] = uint32(rng.Intn(maxS))
+	}
+	b := summary.NewBuilder(superOf)
+	for i := 0; i < nEdges; i++ {
+		la := superOf[rng.Intn(n)]
+		lb := superOf[rng.Intn(n)]
+		w := 1.0
+		if weighted {
+			switch rng.Intn(4) {
+			case 0:
+				w = 1 // unit weights interleaved with non-unit ones
+			case 1:
+				w = float64(1+rng.Intn(1000)) / 7.0
+			case 2:
+				w = rng.Float64() + 1e-9
+			default:
+				w = math.MaxFloat64 * rng.Float64()
+				if w == 0 {
+					w = 1
+				}
+			}
+		}
+		b.AddSuperedge(la, lb, w)
+	}
+	return b.Build()
+}
+
+// caseSummaries enumerates the codec's edge cases plus randomized instances:
+// empty, single-supernode, max-weight, dense self-loops, weighted and
+// unweighted.
+func caseSummaries(t testing.TB) map[string]*summary.Summary {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	cases := map[string]*summary.Summary{}
+
+	// Empty: zero nodes, zero supernodes, zero superedges.
+	cases["empty"] = summary.NewBuilder(nil).Build()
+
+	// Single supernode holding every node, with a max-weight self-loop.
+	all := make([]uint32, 9)
+	b := summary.NewBuilder(all)
+	b.AddSuperedge(0, 0, math.MaxFloat64)
+	cases["single-supernode-max-weight"] = b.Build()
+
+	// Single supernode, no superedges at all.
+	cases["single-supernode-no-edges"] = summary.NewBuilder(make([]uint32, 5)).Build()
+
+	// Dense self-loops: every supernode has a self-loop plus a ring of
+	// superedges, weighted.
+	superOf := make([]uint32, 24)
+	for u := range superOf {
+		superOf[u] = uint32(u % 6)
+	}
+	b = summary.NewBuilder(superOf)
+	for a := uint32(0); a < 6; a++ {
+		b.AddSuperedge(a, a, float64(a)+0.5)
+		b.AddSuperedge(a, (a+1)%6, 2.0)
+	}
+	cases["dense-self-loops"] = b.Build()
+
+	// Identity summary of a generated graph: unweighted, many supernodes.
+	gb := graph.NewBuilder(30)
+	for u := 0; u < 30; u++ {
+		gb.AddEdge(uint32(u), uint32((u+1)%30))
+		gb.AddEdge(uint32(u), uint32((u*7+3)%30))
+	}
+	cases["identity"] = summary.Identity(gb.Build())
+
+	for i := 0; i < 8; i++ {
+		cases[fmt.Sprintf("random-unweighted-%d", i)] = randomSummary(rng, 20+i*13, 3+i, 2+i*5, false)
+		cases[fmt.Sprintf("random-weighted-%d", i)] = randomSummary(rng, 20+i*13, 3+i, 2+i*5, true)
+	}
+	return cases
+}
+
+// caseSubgraphs enumerates subgraph-machine artifacts: empty, edgeless,
+// isolated trailing nodes, randomized.
+func caseSubgraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string]*graph.Graph{
+		"empty":          graph.FromEdges(0, nil),
+		"edgeless":       graph.FromEdges(12, nil),
+		"trailing-holes": graph.FromEdges(10, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}),
+	}
+	for i := 0; i < 6; i++ {
+		n := 15 + i*9
+		gb := graph.NewBuilder(n)
+		for e := 0; e < n*2; e++ {
+			gb.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		cases[fmt.Sprintf("random-%d", i)] = gb.Build()
+	}
+	return cases
+}
+
+// TestSummaryRoundTrip pins the codec's central property on summaries:
+// Encode(Decode(x)) == x byte-for-byte, the decoded summary is structurally
+// valid, and its legacy Write serialization — the byte-identity yardstick
+// the incremental-rebuild tests use — matches the original's exactly.
+func TestSummaryRoundTrip(t *testing.T) {
+	for name, s := range caseSummaries(t) {
+		t.Run(name, func(t *testing.T) {
+			enc, err := EncodeBytes(Artifact{Summary: s})
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			a, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if a.Summary == nil || a.Subgraph != nil {
+				t.Fatalf("decoded artifact kind mismatch: %+v", a)
+			}
+			if err := a.Summary.Validate(); err != nil {
+				t.Fatalf("decoded summary invalid: %v", err)
+			}
+			re, err := EncodeBytes(a)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(enc, re) {
+				t.Fatalf("Encode(Decode(x)) != x: %d vs %d bytes", len(re), len(enc))
+			}
+			var w1, w2 bytes.Buffer
+			if err := s.Write(&w1); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Summary.Write(&w2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+				t.Fatal("decoded summary's Write bytes differ from the original's — bit-identity broken")
+			}
+		})
+	}
+}
+
+// TestSubgraphRoundTrip is the same property for subgraph-machine artifacts.
+func TestSubgraphRoundTrip(t *testing.T) {
+	for name, g := range caseSubgraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			enc, err := EncodeBytes(Artifact{Subgraph: g})
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			a, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if a.Subgraph == nil || a.Summary != nil {
+				t.Fatalf("decoded artifact kind mismatch: %+v", a)
+			}
+			if a.Subgraph.NumNodes() != g.NumNodes() || a.Subgraph.NumEdges() != g.NumEdges() {
+				t.Fatalf("decoded |V|=%d |E|=%d, want |V|=%d |E|=%d",
+					a.Subgraph.NumNodes(), a.Subgraph.NumEdges(), g.NumNodes(), g.NumEdges())
+			}
+			re, err := EncodeBytes(a)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(enc, re) {
+				t.Fatal("Encode(Decode(x)) != x for subgraph artifact")
+			}
+		})
+	}
+}
+
+// TestEncodeRejectsAmbiguousArtifact: an artifact must hold exactly one
+// payload kind.
+func TestEncodeRejectsAmbiguousArtifact(t *testing.T) {
+	if _, err := EncodeBytes(Artifact{}); err == nil {
+		t.Error("encoding an empty artifact succeeded")
+	}
+	s := summary.NewBuilder(make([]uint32, 3)).Build()
+	g := graph.FromEdges(3, nil)
+	if _, err := EncodeBytes(Artifact{Summary: s, Subgraph: g}); err == nil {
+		t.Error("encoding a two-kind artifact succeeded")
+	}
+}
+
+// fixCRC recomputes the trailer over everything before it, so tests can
+// craft payload mutations that only the structural checks (not the
+// checksum) must catch.
+func fixCRC(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(out[len(out)-trailerLen:], crc32.ChecksumIEEE(out[:len(out)-trailerLen]))
+	return out
+}
+
+// referenceEncoding returns one representative valid artifact encoding.
+func referenceEncoding(t testing.TB) []byte {
+	t.Helper()
+	superOf := []uint32{0, 0, 1, 1, 2}
+	b := summary.NewBuilder(superOf)
+	b.AddSuperedge(0, 1, 1)
+	b.AddSuperedge(1, 2, 2.5)
+	b.AddSuperedge(2, 2, 0.25)
+	enc, err := EncodeBytes(Artifact{Summary: b.Build()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// mustCorrupt asserts that decoding fails with a typed ErrCorrupt (never a
+// panic, never success, never an untyped error).
+func mustCorrupt(t *testing.T, data []byte, what string) {
+	t.Helper()
+	_, err := Decode(data)
+	if err == nil {
+		t.Fatalf("%s: decode succeeded", what)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("%s: error %v does not wrap ErrCorrupt", what, err)
+	}
+}
+
+// TestDecodeZeroLength: an empty file is ErrCorrupt.
+func TestDecodeZeroLength(t *testing.T) {
+	mustCorrupt(t, nil, "nil input")
+	mustCorrupt(t, []byte{}, "zero-length input")
+}
+
+// TestDecodeTruncated: every proper prefix of a valid encoding fails typed.
+func TestDecodeTruncated(t *testing.T) {
+	enc := referenceEncoding(t)
+	for k := 0; k < len(enc); k++ {
+		mustCorrupt(t, enc[:k], fmt.Sprintf("truncation to %d/%d bytes", k, len(enc)))
+	}
+}
+
+// TestDecodeFlippedByte: flipping any single byte anywhere in the file —
+// header, payload, or trailer — fails typed. The CRC covers the body and the
+// trailer is compared against it, so no single flip can slip through.
+func TestDecodeFlippedByte(t *testing.T) {
+	enc := referenceEncoding(t)
+	for i := range enc {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= flip
+			mustCorrupt(t, mut, fmt.Sprintf("byte %d flipped with %#x", i, flip))
+		}
+	}
+}
+
+// TestDecodeWrongMagic: a wrong magic is ErrCorrupt even with a valid CRC.
+func TestDecodeWrongMagic(t *testing.T) {
+	enc := referenceEncoding(t)
+	mut := append([]byte(nil), enc...)
+	copy(mut, "NOPE")
+	mustCorrupt(t, fixCRC(mut), "wrong magic with fixed CRC")
+}
+
+// TestDecodeFutureVersion: a structurally intact file from a future codec
+// version is ErrVersion — distinguishable from corruption, equally
+// recoverable (rebuild).
+func TestDecodeFutureVersion(t *testing.T) {
+	enc := referenceEncoding(t)
+	for _, v := range []byte{0, 2, 77, 255} {
+		mut := append([]byte(nil), enc...)
+		mut[4] = v
+		_, err := Decode(fixCRC(mut))
+		if err == nil {
+			t.Fatalf("version %d decoded", v)
+		}
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("version %d: error %v does not wrap ErrVersion", v, err)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Fatalf("version %d: error %v wraps ErrCorrupt too — the two must stay distinct", v, err)
+		}
+	}
+}
+
+// TestDecodeUnknownKind: an unknown artifact kind is ErrCorrupt.
+func TestDecodeUnknownKind(t *testing.T) {
+	enc := referenceEncoding(t)
+	mut := append([]byte(nil), enc...)
+	mut[5] = 9
+	mustCorrupt(t, fixCRC(mut), "unknown kind with fixed CRC")
+}
+
+// TestDecodeTrailingGarbage: extra bytes between payload and trailer are
+// rejected even when the CRC is recomputed over them — canonical encodings
+// consume the payload exactly.
+func TestDecodeTrailingGarbage(t *testing.T) {
+	enc := referenceEncoding(t)
+	mut := append([]byte(nil), enc[:len(enc)-trailerLen]...)
+	mut = append(mut, 0xAB, 0, 0, 0, 0)
+	mustCorrupt(t, fixCRC(mut), "trailing garbage with fixed CRC")
+}
+
+// TestDecodeHugeCounts: headers claiming absurd node counts are rejected
+// before any proportional allocation happens (each node costs at least one
+// payload byte, so the count can never exceed the payload length).
+func TestDecodeHugeCounts(t *testing.T) {
+	for _, kind := range []byte{kindSummary, kindSubgraph} {
+		data := []byte{'P', 'G', 'A', 'R', codecVersion, kind,
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, // huge varint |V|
+			0, 0, 0, 0, 0, 0} // filler + CRC space
+		mustCorrupt(t, fixCRC(data), fmt.Sprintf("huge node count, kind %d", kind))
+	}
+}

@@ -1,0 +1,258 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ext is the artifact file extension; a store directory contains one
+// <key>.pgsum file per persisted artifact plus (transiently) .tmp-* files
+// mid-Put.
+const ext = ".pgsum"
+
+// tmpPrefix marks in-flight Put temporaries; a crash can strand them, and
+// GC sweeps them up.
+const tmpPrefix = ".tmp-"
+
+// Store is a content-addressed artifact store over one directory: artifact
+// bytes live at <dir>/<key>.pgsum, where the key is a shard content key
+// (distributed.ShardKey) — a collision-resistant fingerprint of everything
+// that determines the artifact's bytes. Content addressing makes files
+// immutable once written: a Put under an existing key rewrites the same
+// bytes, so readers never observe a file changing under them, and Put's
+// temp-file + rename protocol means a reader either sees a complete
+// artifact or none at all (crashes leave only .tmp-* strays, which GC
+// removes).
+//
+// A Store is safe for concurrent use. One serving process should own a
+// directory: GC deletes everything outside the keep set, so two clusters
+// sharing a directory would collect each other's artifacts.
+type Store struct {
+	dir string
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	puts      atomic.Uint64
+	putErrors atomic.Uint64
+	bytesW    atomic.Uint64
+	bytesR    atomic.Uint64
+	loadUs    atomic.Uint64
+}
+
+// Open returns a Store over dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Path returns the file path an artifact with the given key lives at. Keys
+// must be path-safe tokens (shard content keys are lowercase hex); anything
+// else — separators, dots, empty — is rejected so a key can never escape
+// the store directory.
+func (st *Store) Path(key string) (string, error) {
+	if key == "" || len(key) > 128 {
+		return "", fmt.Errorf("persist: invalid artifact key %q", key)
+	}
+	for _, c := range key {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-', c == '_':
+		default:
+			return "", fmt.Errorf("persist: invalid artifact key %q", key)
+		}
+	}
+	return filepath.Join(st.dir, key+ext), nil
+}
+
+// Put encodes the artifact and files it under key atomically: the bytes go
+// to a temp file in the store directory first and are renamed into place,
+// so a concurrent Get (or a crash) can never observe a partial artifact.
+// Errors are also counted on the store's stats — build paths persist
+// best-effort and may ignore the return.
+func (st *Store) Put(key string, a Artifact) error {
+	err := st.put(key, a)
+	if err != nil {
+		st.putErrors.Add(1)
+	}
+	return err
+}
+
+func (st *Store) put(key string, a Artifact) error {
+	path, err := st.Path(key)
+	if err != nil {
+		return err
+	}
+	raw, err := EncodeBytes(a)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(st.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("persist: put %s: %w", key, err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: put %s: %w", key, err)
+	}
+	// Flush the data to stable storage BEFORE the rename becomes visible:
+	// without this, a power loss can persist the rename ahead of the data
+	// blocks and leave a complete-looking file full of garbage at the final
+	// path (the CRC would catch it, but the durability claim would be a
+	// lie — and the warm start would silently lose that shard).
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: put %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: put %s: %w", key, err)
+	}
+	// Persist the rename itself (the directory entry) best-effort; a lost
+	// rename after a crash is just a miss on the next boot, never a partial
+	// artifact, so a failure here is not worth failing the Put.
+	if d, err := os.Open(st.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	st.puts.Add(1)
+	st.bytesW.Add(uint64(len(raw)))
+	return nil
+}
+
+// Get loads and decodes the artifact filed under key. A missing artifact is
+// (Artifact{}, false, nil); an unreadable or corrupt one is (Artifact{},
+// false, err) with err wrapping ErrCorrupt/ErrVersion where applicable —
+// callers treat both as a miss and rebuild, the error carrying the why.
+func (st *Store) Get(key string) (Artifact, bool, error) {
+	path, err := st.Path(key)
+	if err != nil {
+		st.misses.Add(1)
+		return Artifact{}, false, err
+	}
+	start := time.Now()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		st.misses.Add(1)
+		if errors.Is(err, fs.ErrNotExist) {
+			return Artifact{}, false, nil
+		}
+		return Artifact{}, false, fmt.Errorf("persist: get %s: %w", key, err)
+	}
+	a, err := Decode(raw)
+	if err != nil {
+		st.misses.Add(1)
+		return Artifact{}, false, fmt.Errorf("persist: get %s: %w", key, err)
+	}
+	st.hits.Add(1)
+	st.bytesR.Add(uint64(len(raw)))
+	st.loadUs.Add(uint64(time.Since(start).Microseconds()))
+	return a, true, nil
+}
+
+// Keys lists the artifact keys currently filed in the store.
+func (st *Store) Keys() ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: list store: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ext) || strings.HasPrefix(name, tmpPrefix) {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ext))
+	}
+	return keys, nil
+}
+
+// GC removes every artifact whose key the keep predicate rejects, plus any
+// stranded Put temporaries, and returns how many artifacts were removed.
+// Content addressing makes this safe at any time: an artifact outside the
+// live key set can never be read again (its key would have to be re-derived
+// from the same inputs, which would also re-derive its bytes), so removal
+// only reclaims space.
+func (st *Store) GC(keep func(key string) bool) (int, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, fmt.Errorf("persist: gc: %w", err)
+	}
+	removed := 0
+	var firstErr error
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, tmpPrefix) {
+			// A crashed Put's stray; its rename never happened.
+			if err := os.Remove(filepath.Join(st.dir, name)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ext) {
+			continue
+		}
+		if keep != nil && keep(strings.TrimSuffix(name, ext)) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(st.dir, name)); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, firstErr
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Hits counts Gets that decoded a valid artifact.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets that found nothing usable (absent, unreadable, or
+	// corrupt — the caller rebuilt).
+	Misses uint64 `json:"misses"`
+	// Puts counts artifacts successfully written; PutErrors failed attempts.
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"put_errors"`
+	// BytesWritten / BytesRead total the encoded artifact bytes moved.
+	BytesWritten uint64 `json:"bytes_written"`
+	BytesRead    uint64 `json:"bytes_read"`
+	// LoadMs is the cumulative wall-clock time spent reading+decoding hits.
+	LoadMs float64 `json:"load_ms"`
+}
+
+// Stats returns a snapshot of the store's counters.
+func (st *Store) Stats() Stats {
+	return Stats{
+		Hits:         st.hits.Load(),
+		Misses:       st.misses.Load(),
+		Puts:         st.puts.Load(),
+		PutErrors:    st.putErrors.Load(),
+		BytesWritten: st.bytesW.Load(),
+		BytesRead:    st.bytesR.Load(),
+		LoadMs:       float64(st.loadUs.Load()) / 1000.0,
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"pegasus/internal/distributed"
 	"pegasus/internal/graph"
 	"pegasus/internal/partition"
+	"pegasus/internal/persist"
 	"pegasus/internal/queries"
 	"pegasus/internal/summary"
 )
@@ -136,13 +137,16 @@ func pageRankChecked(o queries.Oracle, cfg queries.PageRankConfig) ([]float64, e
 // of (graph, resolved target set, budget share, workers-independent config)
 // — and shards whose key matches a shard of prev transplant that artifact
 // instead of rebuilding (equal keys imply bit-identical summaries, see
-// internal/distributed). Returned alongside the backend: the per-shard
-// keys and the rebuilt/reused stats. graphToken is the cached
+// internal/distributed). A non-nil store adds the disk tier: shards not
+// satisfied by prev decode their artifact from the store when filed there,
+// and freshly built shards are persisted back — a restart with a populated
+// cache dir builds nothing. Returned alongside the backend: the per-shard
+// keys and the rebuilt/reused/loaded stats. graphToken is the cached
 // distributed.GraphToken of g.
-func buildBackend(ctx context.Context, g *graph.Graph, cfg Config, graphToken string, prev *backendBox) (backend, []string, distributed.BuildStats, error) {
+func buildBackend(ctx context.Context, g *graph.Graph, cfg Config, graphToken string, prev *backendBox, store *persist.Store) (backend, []string, distributed.BuildStats, error) {
 	budgetBits := cfg.BudgetRatio * g.SizeBits()
 	if cfg.Shards <= 1 {
-		return buildSingle(ctx, g, cfg, budgetBits, graphToken, prev)
+		return buildSingle(ctx, g, cfg, budgetBits, graphToken, prev, store)
 	}
 	// Split the worker budget between the two levels of parallelism: up to
 	// BuildWorkers shard builds in flight, each engine using the leftover
@@ -176,6 +180,7 @@ func buildBackend(ctx context.Context, g *graph.Graph, cfg Config, graphToken st
 			ConfigKey:  cfgKey,
 			GraphToken: graphToken,
 			Prev:       prevCluster,
+			Store:      store,
 		})
 	if err != nil {
 		return nil, nil, stats, fmt.Errorf("server: build cluster: %w", err)
@@ -184,8 +189,9 @@ func buildBackend(ctx context.Context, g *graph.Graph, cfg Config, graphToken st
 }
 
 // buildSingle is the unsharded arm of buildBackend: one summary, treated as
-// a 1-shard cluster for content-key purposes so no-op rebuilds reuse it.
-func buildSingle(ctx context.Context, g *graph.Graph, cfg Config, budgetBits float64, graphToken string, prev *backendBox) (backend, []string, distributed.BuildStats, error) {
+// a 1-shard cluster for content-key purposes so no-op rebuilds reuse it and
+// a configured store can warm-start it from disk.
+func buildSingle(ctx context.Context, g *graph.Graph, cfg Config, budgetBits float64, graphToken string, prev *backendBox, store *persist.Store) (backend, []string, distributed.BuildStats, error) {
 	ccfg := core.Config{
 		Targets:    cfg.Targets,
 		Alpha:      cfg.Alpha,
@@ -193,7 +199,7 @@ func buildSingle(ctx context.Context, g *graph.Graph, cfg Config, budgetBits flo
 		BudgetBits: budgetBits,
 		Workers:    cfg.BuildWorkers,
 	}
-	stats := distributed.BuildStats{ReusedShards: make([]bool, 1)}
+	stats := distributed.BuildStats{ReusedShards: make([]bool, 1), LoadedShards: make([]bool, 1)}
 	var keys []string
 	if ck, ok := ccfg.ContentKey(); ok {
 		keys = []string{distributed.ShardKey(graphToken, cfg.Targets, budgetBits, ck)}
@@ -204,11 +210,21 @@ func buildSingle(ctx context.Context, g *graph.Graph, cfg Config, budgetBits flo
 				return sb, keys, stats, nil
 			}
 		}
+		if store != nil {
+			if a, ok, _ := store.Get(keys[0]); ok && a.Summary != nil && a.Summary.NumNodes() == g.NumNodes() {
+				stats.Loaded = 1
+				stats.LoadedShards[0] = true
+				return &summaryBackend{s: a.Summary}, keys, stats, nil
+			}
+		}
 	}
 	res, err := core.SummarizeCtx(ctx, g, ccfg)
 	if err != nil {
 		return nil, nil, stats, fmt.Errorf("server: summarize: %w", err)
 	}
 	stats.Rebuilt = 1
+	if store != nil && len(keys) == 1 {
+		_ = store.Put(keys[0], persist.Artifact{Summary: res.Summary}) // best-effort; store counts failures
+	}
 	return &summaryBackend{s: res.Summary}, keys, stats, nil
 }

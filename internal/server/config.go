@@ -50,6 +50,16 @@ type Config struct {
 	// (default GOMAXPROCS; 1 forces the sequential build). Any value
 	// produces the same artifact for a fixed seed.
 	BuildWorkers int
+	// CacheDir, when non-empty, enables disk-backed shard artifacts: every
+	// built shard summary is persisted under its content key
+	// (<CacheDir>/<shardkey>.pgsum), startup loads any shard whose key is
+	// already filed instead of rebuilding it (a warm start from a populated
+	// directory performs zero summarizations), and each POST /v1/summarize
+	// persists the shards it rebuilds. Artifacts found corrupt or written by
+	// an unknown codec version are rebuilt, never trusted. One server should
+	// own a directory: successful builds garbage-collect it down to the
+	// serving key set. Empty keeps the cluster purely in-memory.
+	CacheDir string
 	// QueryTimeout bounds each query computation (default 30s).
 	QueryTimeout time.Duration
 	// ShutdownGrace bounds the drain on graceful shutdown (default 10s).

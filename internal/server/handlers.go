@@ -232,9 +232,9 @@ type ReportResponse struct {
 }
 
 // SummarizeResponse is the JSON answer of POST /v1/summarize: the new
-// report plus the incremental-rebuild outcome. rebuilt + reused equals the
-// shard count; a no-op request (nothing effectively changed) reports
-// rebuilt 0, reused m.
+// report plus the incremental-rebuild outcome. rebuilt + reused + loaded
+// equals the shard count; a no-op request (nothing effectively changed)
+// reports rebuilt 0, reused m.
 type SummarizeResponse struct {
 	ReportResponse
 	// Rebuilt is the number of shards whose summary was built from scratch
@@ -243,6 +243,16 @@ type SummarizeResponse struct {
 	// Reused is the number of shards whose previous summary was
 	// transplanted bit-identically (their cached query answers survive).
 	Reused int `json:"reused"`
+	// Loaded is the number of shards decoded from the on-disk artifact
+	// store (always 0 without a cache dir) — bit-identical to a rebuild,
+	// obtained at decode cost.
+	Loaded int `json:"loaded"`
+	// Keyable reports whether shard content keys could be computed for this
+	// build. When false (a summarizer configuration with no canonical
+	// fingerprint, e.g. a custom threshold policy), every rebuild is a full
+	// rebuild and nothing is persisted — reuse is silently off, and this
+	// field is how the silence is surfaced.
+	Keyable bool `json:"keyable"`
 }
 
 type errorResponse struct {
@@ -603,6 +613,8 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		},
 		Rebuilt: stats.Rebuilt,
 		Reused:  stats.Reused,
+		Loaded:  stats.Loaded,
+		Keyable: len(box.keys) > 0,
 	})
 }
 
@@ -624,6 +636,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var persist *PersistMetrics
+	if s.store != nil {
+		st := s.store.Stats()
+		persist = &st
+	}
 	writeJSON(w, http.StatusOK,
-		s.metrics.SnapshotNow(s.cache.Len(), s.pool.InFlight(), s.gen.Load()))
+		s.metrics.SnapshotNow(s.cache.Len(), s.pool.InFlight(), s.gen.Load(), persist))
 }

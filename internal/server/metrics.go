@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pegasus/internal/persist"
 )
 
 // histBuckets is the number of latency histogram buckets; bucket 0 counts
@@ -32,6 +34,7 @@ type Metrics struct {
 	rebuilds      atomic.Uint64
 	shardsRebuilt atomic.Uint64
 	shardsReused  atomic.Uint64
+	shardsLoaded  atomic.Uint64
 
 	latency [histBuckets]atomic.Uint64
 	latSum  atomic.Uint64 // microseconds
@@ -94,12 +97,13 @@ func (m *Metrics) ObserveBatch(items, groups int) {
 }
 
 // ObserveRebuild records one POST /v1/summarize rebuild: how many shard
-// summaries were rebuilt from scratch and how many were transplanted from
-// the previous backend.
-func (m *Metrics) ObserveRebuild(rebuilt, reused int) {
+// summaries were rebuilt from scratch, how many were transplanted from the
+// previous backend, and how many were decoded from the artifact store.
+func (m *Metrics) ObserveRebuild(rebuilt, reused, loaded int) {
 	m.rebuilds.Add(1)
 	m.shardsRebuilt.Add(uint64(rebuilt))
 	m.shardsReused.Add(uint64(reused))
+	m.shardsLoaded.Add(uint64(loaded))
 }
 
 // ObserveCache records a cache lookup outcome.
@@ -164,8 +168,11 @@ type RebuildMetrics struct {
 	// ShardsReused is the total number of shard summaries transplanted
 	// bit-identically instead of rebuilt.
 	ShardsReused uint64 `json:"shards_reused"`
-	// ReuseRate is ShardsReused / (ShardsRebuilt + ShardsReused) — how much
-	// summarization work incremental rebuilds saved.
+	// ShardsLoaded is the total number of shard summaries decoded from the
+	// on-disk artifact store instead of rebuilt (zero without a cache dir).
+	ShardsLoaded uint64 `json:"shards_loaded"`
+	// ReuseRate is the fraction of shards satisfied without summarizing —
+	// (ShardsReused + ShardsLoaded) / all shards across rebuilds.
 	ReuseRate float64 `json:"reuse_rate"`
 }
 
@@ -181,26 +188,37 @@ type CacheMetrics struct {
 // Snapshot is a point-in-time view of the serving telemetry, served as JSON
 // by GET /metrics.
 type Snapshot struct {
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	Requests      uint64            `json:"requests"`
-	Errors        uint64            `json:"errors"`
-	QPS           float64           `json:"qps"`
-	LatencyAvgMs  float64           `json:"latency_avg_ms"`
-	LatencyP50Ms  float64           `json:"latency_p50_ms"`
-	LatencyP90Ms  float64           `json:"latency_p90_ms"`
-	LatencyP99Ms  float64           `json:"latency_p99_ms"`
-	Cache         CacheMetrics      `json:"cache"`
-	Batch         BatchMetrics      `json:"batch"`
-	Rebuild       RebuildMetrics    `json:"rebuild"`
-	Endpoints     map[string]uint64 `json:"endpoints"`
-	ShardQueries  []uint64          `json:"shard_queries"`
-	InFlight      int               `json:"in_flight"`
-	Generation    uint64            `json:"generation"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Requests      uint64         `json:"requests"`
+	Errors        uint64         `json:"errors"`
+	QPS           float64        `json:"qps"`
+	LatencyAvgMs  float64        `json:"latency_avg_ms"`
+	LatencyP50Ms  float64        `json:"latency_p50_ms"`
+	LatencyP90Ms  float64        `json:"latency_p90_ms"`
+	LatencyP99Ms  float64        `json:"latency_p99_ms"`
+	Cache         CacheMetrics   `json:"cache"`
+	Batch         BatchMetrics   `json:"batch"`
+	Rebuild       RebuildMetrics `json:"rebuild"`
+	// Persist is the artifact-store section (hits, misses, bytes moved,
+	// cumulative load time); nil when no cache dir is configured.
+	Persist      *PersistMetrics   `json:"persist,omitempty"`
+	Endpoints    map[string]uint64 `json:"endpoints"`
+	ShardQueries []uint64          `json:"shard_queries"`
+	InFlight     int               `json:"in_flight"`
+	Generation   uint64            `json:"generation"`
 }
 
-// SnapshotNow assembles a snapshot; cacheEntries, inFlight and generation
-// come from the server because Metrics does not own those components.
-func (m *Metrics) SnapshotNow(cacheEntries, inFlight int, generation uint64) Snapshot {
+// PersistMetrics is the artifact-store section of a metrics snapshot: the
+// disk-tier counterpart of the query cache's hit/miss counters. It is the
+// store's own stats snapshot verbatim (persist.Stats defines the fields and
+// JSON shape), so new store counters appear in /metrics without a mirror
+// struct to keep in sync.
+type PersistMetrics = persist.Stats
+
+// SnapshotNow assembles a snapshot; cacheEntries, inFlight, generation and
+// persist come from the server because Metrics does not own those
+// components (persist is nil when no artifact store is configured).
+func (m *Metrics) SnapshotNow(cacheEntries, inFlight int, generation uint64, persist *PersistMetrics) Snapshot {
 	uptime := time.Since(m.start).Seconds()
 	reqs := m.requests.Load()
 	hits, misses, shared := m.cacheHits.Load(), m.cacheMisses.Load(), m.cacheShared.Load()
@@ -245,10 +263,12 @@ func (m *Metrics) SnapshotNow(cacheEntries, inFlight int, generation uint64) Sna
 		Count:         m.rebuilds.Load(),
 		ShardsRebuilt: m.shardsRebuilt.Load(),
 		ShardsReused:  m.shardsReused.Load(),
+		ShardsLoaded:  m.shardsLoaded.Load(),
 	}
-	if total := s.Rebuild.ShardsRebuilt + s.Rebuild.ShardsReused; total > 0 {
-		s.Rebuild.ReuseRate = float64(s.Rebuild.ShardsReused) / float64(total)
+	if total := s.Rebuild.ShardsRebuilt + s.Rebuild.ShardsReused + s.Rebuild.ShardsLoaded; total > 0 {
+		s.Rebuild.ReuseRate = float64(s.Rebuild.ShardsReused+s.Rebuild.ShardsLoaded) / float64(total)
 	}
+	s.Persist = persist
 	m.mu.Lock()
 	for name, c := range m.endpoints {
 		s.Endpoints[name] = c.Load()

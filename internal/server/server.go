@@ -28,6 +28,7 @@ import (
 
 	"pegasus/internal/distributed"
 	"pegasus/internal/graph"
+	"pegasus/internal/persist"
 )
 
 // Server is the serving daemon state. Construct with New, mount Handler on
@@ -39,6 +40,13 @@ type Server struct {
 	cache   *Cache
 	pool    *Pool
 	metrics *Metrics
+	// store is the on-disk artifact store behind cfg.CacheDir (nil when
+	// persistence is disabled). Builds consult it before summarizing and
+	// persist what they build, making restarts warm.
+	store *persist.Store
+	// bootStats records how the startup build satisfied each shard — a warm
+	// start from a populated cache dir reports Loaded == m, Rebuilt == 0.
+	bootStats distributed.BuildStats
 	// graphToken is distributed.GraphToken(g), computed once — the graph is
 	// immutable for the server's lifetime — and folded into every shard
 	// content key.
@@ -93,20 +101,30 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Server, error) {
 	if g == nil || g.NumNodes() == 0 {
 		return nil, errors.New("server: nil or empty graph")
 	}
+	var store *persist.Store
+	if cfg.CacheDir != "" {
+		var err error
+		if store, err = persist.Open(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	token := distributed.GraphToken(g)
-	be, keys, _, err := buildBackend(ctx, g, cfg, token, nil)
+	be, keys, stats, err := buildBackend(ctx, g, cfg, token, nil, store)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		cfg:        cfg,
 		g:          g,
+		store:      store,
+		bootStats:  stats,
 		graphToken: token,
 		buildCfg:   cfg,
 		cache:      NewCache(cfg.CacheEntries),
 		pool:       NewPool(cfg.Workers),
 		metrics:    NewMetrics(be.numShards()),
 	}
+	s.gcStore(keys)
 	shardGens := make([]uint64, be.numShards())
 	for i := range shardGens {
 		shardGens[i] = 1
@@ -115,6 +133,30 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Server, error) {
 	s.gen.Store(1)
 	return s, nil
 }
+
+// gcStore trims the artifact store to the given live key set after a
+// successful build: content addressing makes anything outside the serving
+// keys unreachable (re-deriving a key re-derives its bytes), so removal
+// only reclaims disk. Skipped when any key is missing — an unkeyable build
+// cannot name what it is using.
+func (s *Server) gcStore(keys []string) {
+	if s.store == nil || len(keys) == 0 {
+		return
+	}
+	live := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if k == "" {
+			return
+		}
+		live[k] = true
+	}
+	_, _ = s.store.GC(func(k string) bool { return live[k] })
+}
+
+// BootStats reports how the startup build satisfied each shard: a warm
+// start from a populated cache dir loads every shard from disk
+// (Loaded == shards, Rebuilt == 0); a cold start builds them all.
+func (s *Server) BootStats() distributed.BuildStats { return s.bootStats }
 
 // Config returns the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -140,7 +182,7 @@ func (s *Server) rebuild(ctx context.Context, apply func(Config) Config) (*backe
 	defer s.mu.Unlock()
 	cfg := apply(s.buildCfg)
 	old := s.current()
-	be, keys, stats, err := buildBackend(ctx, s.g, cfg, s.graphToken, old)
+	be, keys, stats, err := buildBackend(ctx, s.g, cfg, s.graphToken, old, s.store)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -172,7 +214,8 @@ func (s *Server) rebuild(ctx context.Context, apply func(Config) Config) (*backe
 	if stats.Reused == 0 {
 		s.cache.Purge()
 	}
-	s.metrics.ObserveRebuild(stats.Rebuilt, stats.Reused)
+	s.gcStore(keys)
+	s.metrics.ObserveRebuild(stats.Rebuilt, stats.Reused, stats.Loaded)
 	return box, stats, nil
 }
 
