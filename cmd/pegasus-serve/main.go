@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -54,6 +55,9 @@ func main() {
 		bworkers = flag.Int("build-workers", 0, "build-pipeline goroutines for startup and hot rebuilds (0 = GOMAXPROCS, 1 = sequential; artifact is identical either way)")
 		cacheDir = flag.String("cache-dir", "", "directory for disk-backed shard artifacts: shards are persisted under their content keys and restarts warm-start from disk instead of rebuilding (empty disables)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-query timeout")
+		slowThr  = flag.Duration("slowlog-threshold", 500*time.Millisecond, "record requests at or above this latency in GET /debug/slowlog with their span timeline (negative disables)")
+		slowCap  = flag.Int("slowlog-entries", 128, "slow-query log ring-buffer capacity")
+		dbgAddr  = flag.String("debug-addr", "", "listen address for the debug server (pprof, /debug/runtime, /debug/slowlog, /metrics); empty disables. Bind it to loopback: profiling endpoints are for operators, not clients")
 	)
 	flag.Parse()
 
@@ -78,19 +82,21 @@ func main() {
 		fatal("parse targets: %v", err)
 	}
 	cfg := pegasus.ServerConfig{
-		Addr:            *addr,
-		Shards:          *shards,
-		PartitionMethod: *method,
-		BudgetRatio:     *budget,
-		Targets:         tg,
-		Alpha:           *alpha,
-		Seed:            *seed,
-		CacheEntries:    *cache,
-		Workers:         *workers,
-		BatchMax:        *batchMax,
-		BuildWorkers:    *bworkers,
-		CacheDir:        *cacheDir,
-		QueryTimeout:    *timeout,
+		Addr:             *addr,
+		Shards:           *shards,
+		PartitionMethod:  *method,
+		BudgetRatio:      *budget,
+		Targets:          tg,
+		Alpha:            *alpha,
+		Seed:             *seed,
+		CacheEntries:     *cache,
+		Workers:          *workers,
+		BatchMax:         *batchMax,
+		BuildWorkers:     *bworkers,
+		CacheDir:         *cacheDir,
+		QueryTimeout:     *timeout,
+		SlowLogThreshold: *slowThr,
+		SlowLogEntries:   *slowCap,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -109,6 +115,16 @@ func main() {
 			*cacheDir, bs.Loaded, bs.Rebuilt)
 	}
 	fmt.Printf("ready in %v; serving on %s\n", time.Since(start).Round(time.Millisecond), *addr)
+	if *dbgAddr != "" {
+		dbg := &http.Server{Addr: *dbgAddr, Handler: s.DebugHandler()}
+		go func() {
+			fmt.Printf("debug server (pprof, slowlog, runtime) on %s\n", *dbgAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "pegasus-serve: debug server: %v\n", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 	if err := s.Run(ctx); err != nil {
 		fatal("serve: %v", err)
 	}

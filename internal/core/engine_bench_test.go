@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -45,7 +46,7 @@ func BenchmarkCandidateGroups(b *testing.B) {
 	e := benchEngine(b, 5000, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.candidateGroups(i + 1)
+		e.candidateGroups(context.Background(), i+1)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"pegasus/internal/graph"
+	"pegasus/internal/obs"
 	"pegasus/internal/weights"
 )
 
@@ -21,7 +22,10 @@ func SummarizeCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	_, sp := obs.StartSpan(ctx, "build.weights")
 	w, err := weights.NewParallel(g, cfg.Targets, cfg.Alpha, cfg.Workers)
+	sp.AttrInt("nodes", g.NumNodes())
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -38,9 +42,14 @@ func summarizeWeighted(ctx context.Context, g *graph.Graph, w *weights.Weights, 
 
 	for t := 1; t <= cfg.MaxIter && eng.sizeBits() > cfg.BudgetBits; t++ {
 		iterations = t
-		groups := eng.candidateGroups(t)
+		_, csp := obs.StartSpan(ctx, "build.candidates")
+		groups := eng.candidateGroups(ctx, t)
+		csp.AttrInt("iteration", t)
+		csp.AttrInt("groups", len(groups))
+		csp.End()
 		var rejected []float64
 		merges := 0
+		_, msp := obs.StartSpan(ctx, "build.merge")
 		for _, grp := range groups {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -50,6 +59,9 @@ func summarizeWeighted(ctx context.Context, g *graph.Graph, w *weights.Weights, 
 				break
 			}
 		}
+		msp.AttrInt("iteration", t)
+		msp.AttrInt("merges", merges)
+		msp.End()
 		if cfg.Trace != nil {
 			cfg.Trace(IterStats{
 				Iteration:  t,
@@ -71,10 +83,16 @@ func summarizeWeighted(ctx context.Context, g *graph.Graph, w *weights.Weights, 
 	}
 	dropped := 0
 	if eng.sizeBits() > cfg.BudgetBits {
+		_, ssp := obs.StartSpan(ctx, "build.sparsify")
 		dropped = eng.sparsify(cfg.BudgetBits)
+		ssp.AttrInt("dropped", dropped)
+		ssp.End()
 	}
+	_, fsp := obs.StartSpan(ctx, "build.finalize")
+	summ := eng.buildSummary()
+	fsp.End()
 	return &Result{
-		Summary:           eng.buildSummary(),
+		Summary:           summ,
 		Iterations:        iterations,
 		DroppedSuperedges: dropped,
 		FinalTheta:        finalTheta,

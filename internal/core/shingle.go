@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"pegasus/internal/graph"
 	"pegasus/internal/minhash"
+	"pegasus/internal/obs"
 	"pegasus/internal/par"
 )
 
@@ -54,8 +56,10 @@ func superShingle(nodeMin []uint64, members []graph.NodeID) uint64 {
 }
 
 // candidateGroups produces this iteration's groups of supernodes with
-// similar connectivity (Alg. 1 line 4).
-func (e *engine) candidateGroups(iter int) [][]uint32 {
+// similar connectivity (Alg. 1 line 4). ctx carries the build trace (if
+// any); the shingle scans inside record "build.shingle" spans. Tracing
+// never touches e.rng, so grouping is bit-identical with or without it.
+func (e *engine) candidateGroups(ctx context.Context, iter int) [][]uint32 {
 	if e.cfg.RandomGroups {
 		return e.randomGroups()
 	}
@@ -75,7 +79,11 @@ func (e *engine) candidateGroups(iter int) [][]uint32 {
 		if nm, ok := nodeMinByDepth[depth]; ok {
 			return nm
 		}
+		_, sp := obs.StartSpan(ctx, "build.shingle")
 		nm := e.nodeShingles(baseSeed + uint64(depth)*0x9e3779b1)
+		sp.AttrInt("iteration", iter)
+		sp.AttrInt("depth", depth)
+		sp.End()
 		nodeMinByDepth[depth] = nm
 		return nm
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"pegasus/internal/gen"
@@ -24,7 +25,7 @@ func newTestEngine(t *testing.T, g *graph.Graph, cfg Config) *engine {
 func TestCandidateGroupsPartitionAliveSlots(t *testing.T) {
 	g := gen.BarabasiAlbert(300, 3, 1)
 	e := newTestEngine(t, g, Config{Seed: 2})
-	groups := e.candidateGroups(1)
+	groups := e.candidateGroups(context.Background(), 1)
 	seen := map[uint32]int{}
 	for _, grp := range groups {
 		if len(grp) < 2 {
@@ -66,7 +67,7 @@ func TestTwinsShareAGroup(t *testing.T) {
 	together := 0
 	const iters = 20
 	for it := 1; it <= iters; it++ {
-		groups := e.candidateGroups(it)
+		groups := e.candidateGroups(context.Background(), it)
 		for _, grp := range groups {
 			has1, has2 := false, false
 			for _, a := range grp {
@@ -93,8 +94,8 @@ func TestTwinsShareAGroup(t *testing.T) {
 func TestCandidateGroupsChangeAcrossIterations(t *testing.T) {
 	g := gen.BarabasiAlbert(200, 3, 4)
 	e := newTestEngine(t, g, Config{Seed: 5})
-	g1 := e.candidateGroups(1)
-	g2 := e.candidateGroups(2)
+	g1 := e.candidateGroups(context.Background(), 1)
+	g2 := e.candidateGroups(context.Background(), 2)
 	// Different hash functions should produce a different grouping with
 	// overwhelming probability.
 	if len(g1) == len(g2) {
@@ -134,7 +135,7 @@ func TestGroupSizeCapRespected(t *testing.T) {
 	}
 	g := b.Build()
 	e := newTestEngine(t, g, Config{Seed: 6, MaxGroupSize: 50, MaxSplitDepth: 2})
-	for _, grp := range e.candidateGroups(1) {
+	for _, grp := range e.candidateGroups(context.Background(), 1) {
 		if len(grp) > 50 {
 			t.Fatalf("group of size %d exceeds cap 50", len(grp))
 		}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"pegasus/internal/gen"
+	"pegasus/internal/obs"
+)
+
+// TestTracingDoesNotPerturbSummary is the golden-fingerprint guarantee of
+// the observability layer: building with a trace attached must produce a
+// bit-identical artifact to the untraced build — spans observe the engine,
+// they never touch its randomness or its merge decisions.
+func TestTracingDoesNotPerturbSummary(t *testing.T) {
+	g := gen.PlantedPartition(gen.SBMConfig{Nodes: 240, Communities: 4, AvgDegree: 10, MixingP: 0.08}, 2)
+	cfg := Config{BudgetRatio: 0.4, Seed: 9, Workers: 1}
+
+	plain, err := SummarizeCtx(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	traced, err := SummarizeCtx(obs.WithTrace(context.Background(), tr), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := plain.Summary.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := traced.Summary.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("traced build produced a different artifact than the untraced build")
+	}
+	if plain.Iterations != traced.Iterations || plain.FinalTheta != traced.FinalTheta {
+		t.Fatalf("traced build diverged: iterations %d vs %d, theta %v vs %v",
+			plain.Iterations, traced.Iterations, plain.FinalTheta, traced.FinalTheta)
+	}
+
+	// And the trace actually saw the engine: every phase of the build loop
+	// must have recorded at least one span.
+	names := map[string]int{}
+	for _, s := range tr.View().Spans {
+		names[s.Name]++
+	}
+	for _, phase := range []string{"build.weights", "build.shingle", "build.candidates", "build.merge", "build.finalize"} {
+		if names[phase] == 0 {
+			t.Errorf("trace missing %q span; have %v", phase, names)
+		}
+	}
+}

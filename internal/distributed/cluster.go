@@ -15,6 +15,7 @@ import (
 
 	"pegasus/internal/core"
 	"pegasus/internal/graph"
+	"pegasus/internal/obs"
 	"pegasus/internal/par"
 	"pegasus/internal/persist"
 	"pegasus/internal/queries"
@@ -329,25 +330,36 @@ func BuildSummaryClusterCtx(ctx context.Context, g *graph.Graph, labels []uint32
 			errs[i] = err
 			return
 		}
+		// Each shard build is one span; child phase spans (shingle, merge,
+		// …) parent under it via shardCtx. Span appends are mutex-serialized
+		// in the trace, so parallel shards interleave safely.
+		shardCtx, sp := obs.StartSpan(buildCtx, "build.shard")
+		sp.AttrInt("shard", i)
+		defer sp.End()
 		if store != nil {
 			// Disk twin of the Prev transplant: the key certifies the bytes,
 			// so a decoded artifact is bit-identical to what a rebuild would
 			// produce. Errors (corrupt, version-mismatched) demote to a
 			// rebuild; the node-count check guards against a foreign or
 			// hash-colliding file sneaking past the key.
-			if a, ok, _ := store.Get(c.Keys[i]); ok && a.Summary != nil && a.Summary.NumNodes() == g.NumNodes() {
+			_, gsp := obs.StartSpan(shardCtx, "store.get")
+			a, ok, _ := store.Get(c.Keys[i])
+			gsp.End()
+			if ok && a.Summary != nil && a.Summary.NumNodes() == g.NumNodes() {
 				c.Machines[i] = &Machine{Summary: a.Summary}
 				stats.LoadedShards[i] = true
+				sp.Attr("source", "store")
 				return
 			}
 		}
-		s, err := summarize(buildCtx, g, targets[i], budgetBits)
+		s, err := summarize(shardCtx, g, targets[i], budgetBits)
 		if err != nil {
 			errs[i] = err
 			cancel() // first error wins: stop the remaining builds
 			return
 		}
 		c.Machines[i] = &Machine{Summary: s}
+		sp.Attr("source", "summarize")
 		if store != nil {
 			// Best-effort persistence: a failed write costs the next boot a
 			// rebuild, not this one; the store counts the error.

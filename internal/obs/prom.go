@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// itoa / formatFloat are the shared numeric renderers of the package:
+// attribute values and Prometheus samples both use shortest-round-trip
+// formatting, so a value read back parses to the same number.
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Label is one Prometheus label pair.
+type Label struct{ Name, Value string }
+
+// TextWriter renders the Prometheus text exposition format (version 0.0.4):
+// one Family header per metric family, then its samples. It is a thin
+// formatting layer — no registry, no state beyond the output stream — which
+// is all a pull-based /metrics endpoint rendering from existing atomics
+// needs. The first write error sticks and suppresses further output.
+type TextWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewTextWriter returns a writer emitting to w.
+func NewTextWriter(w io.Writer) *TextWriter { return &TextWriter{w: w} }
+
+// Err returns the first error any write encountered ("" means the whole
+// exposition made it out).
+func (t *TextWriter) Err() error { return t.err }
+
+func (t *TextWriter) printf(s string) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = io.WriteString(t.w, s)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Family emits the # HELP and # TYPE header for a metric family; typ is
+// "counter", "gauge" or "histogram". Call once before the family's samples.
+func (t *TextWriter) Family(name, typ, help string) {
+	t.printf("# HELP " + name + " " + escapeHelp(help) + "\n")
+	t.printf("# TYPE " + name + " " + typ + "\n")
+}
+
+// Sample emits one sample line: name{labels} value.
+func (t *TextWriter) Sample(name string, labels []Label, v float64) {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+	t.printf(b.String())
+}
+
+// Histogram emits a full histogram family instance: cumulative _bucket
+// samples for each upper bound in les (cum[i] counts observations <= les[i]),
+// the mandatory le="+Inf" bucket carrying the total count, and the _sum and
+// _count samples. labels are attached to every sample (le is appended).
+// les must be sorted ascending and cum non-decreasing — the caller owns the
+// bucketing scheme; this is pure formatting.
+func (t *TextWriter) Histogram(name string, labels []Label, les []float64, cum []uint64, sum float64, count uint64) {
+	for i, le := range les {
+		t.Sample(name+"_bucket", append(append([]Label{}, labels...),
+			Label{Name: "le", Value: formatFloat(le)}), float64(cum[i]))
+	}
+	t.Sample(name+"_bucket", append(append([]Label{}, labels...),
+		Label{Name: "le", Value: "+Inf"}), float64(count))
+	t.Sample(name+"_sum", labels, sum)
+	t.Sample(name+"_count", labels, float64(count))
+}

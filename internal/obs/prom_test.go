@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestTextWriterGolden pins the exact exposition output: the format is a
+// wire contract with Prometheus scrapers, so any change here must be
+// deliberate.
+func TestTextWriterGolden(t *testing.T) {
+	var b strings.Builder
+	w := NewTextWriter(&b)
+	w.Family("app_requests_total", "counter", "Requests served.")
+	w.Sample("app_requests_total", nil, 42)
+	w.Family("app_lookups_total", "counter", "Lookups by result.")
+	w.Sample("app_lookups_total", []Label{{Name: "result", Value: "hit"}}, 10)
+	w.Sample("app_lookups_total", []Label{{Name: "result", Value: "miss"}}, 2.5)
+	w.Family("app_duration_seconds", "histogram", "Latency.")
+	w.Histogram("app_duration_seconds", nil, []float64{0.001, 0.01}, []uint64{3, 7}, 0.0625, 9)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total 42
+# HELP app_lookups_total Lookups by result.
+# TYPE app_lookups_total counter
+app_lookups_total{result="hit"} 10
+app_lookups_total{result="miss"} 2.5
+# HELP app_duration_seconds Latency.
+# TYPE app_duration_seconds histogram
+app_duration_seconds_bucket{le="0.001"} 3
+app_duration_seconds_bucket{le="0.01"} 7
+app_duration_seconds_bucket{le="+Inf"} 9
+app_duration_seconds_sum 0.0625
+app_duration_seconds_count 9
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTextWriterEscaping(t *testing.T) {
+	var b strings.Builder
+	w := NewTextWriter(&b)
+	w.Family("m", "gauge", "line one\nback\\slash")
+	w.Sample("m", []Label{{Name: "l", Value: "quote\" back\\ nl\n"}}, 1)
+	got := b.String()
+	if !strings.Contains(got, `line one\nback\\slash`) {
+		t.Errorf("HELP not escaped: %q", got)
+	}
+	if !strings.Contains(got, `l="quote\" back\\ nl\n"`) {
+		t.Errorf("label value not escaped: %q", got)
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.5:          "0.5",
+		3:            "3",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// promLine matches one valid exposition line: a comment or a sample with
+// optional labels and a float value (the subset this package emits).
+var promLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN))$`)
+
+// TestTextWriterParseable feeds every emitted line through the line grammar,
+// including a histogram carrying the +Inf bucket.
+func TestTextWriterParseable(t *testing.T) {
+	var b strings.Builder
+	w := NewTextWriter(&b)
+	w.Family("x_seconds", "histogram", "with \\ and\nnewline")
+	les := []float64{1e-06, 0.001, 1, 512}
+	w.Histogram("x_seconds", []Label{{Name: "endpoint", Value: `q"u\o`}}, les, []uint64{0, 1, 5, 9}, 12.75, 9)
+	w.Family("y_total", "counter", "plain")
+	w.Sample("y_total", nil, 1e21)
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("line does not parse as exposition format: %q", line)
+		}
+	}
+	if !strings.Contains(b.String(), `le="+Inf"} 9`) {
+		t.Errorf("missing +Inf bucket with total count:\n%s", b.String())
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import "runtime"
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime: the process
+// health numbers every serving deployment wants next to its request
+// counters (goroutine leaks, heap growth, GC pressure).
+type RuntimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	GCCount        uint32  `json:"gc_count"`
+	GCPauseTotalMs float64 `json:"gc_pause_total_ms"`
+	LastGCPauseUs  float64 `json:"last_gc_pause_us"`
+}
+
+// ReadRuntime collects a RuntimeStats snapshot. It calls
+// runtime.ReadMemStats, which briefly stops the world — cheap enough for a
+// metrics scrape, not for a per-request hot path.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		GCCount:        ms.NumGC,
+		GCPauseTotalMs: float64(ms.PauseTotalNs) / 1e6,
+	}
+	if ms.NumGC > 0 {
+		st.LastGCPauseUs = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e3
+	}
+	return st
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one slow-request record: the request identity, its outcome,
+// and (when available) the full span timeline, so a slow query can be
+// diagnosed from the log alone without reproducing it.
+type SlowEntry struct {
+	Time       time.Time `json:"time"`
+	TraceID    string    `json:"trace_id"`
+	Method     string    `json:"method"`
+	Path       string    `json:"path"`
+	Endpoint   string    `json:"endpoint"`
+	Status     int       `json:"status"`
+	DurationMs float64   `json:"duration_ms"`
+	// Trace is the span timeline captured when the request crossed the
+	// threshold; nil when the request carried no trace.
+	Trace *TraceView `json:"trace,omitempty"`
+}
+
+// SlowLog is a fixed-size ring buffer of SlowEntry records. Appends are
+// O(1) and overwrite the oldest entry once the buffer is full, so the log's
+// memory is bounded no matter how long the server misbehaves. Safe for
+// concurrent use.
+type SlowLog struct {
+	mu   sync.Mutex
+	ring []SlowEntry
+	next uint64 // total entries ever added; next%cap is the write slot
+	cap  int
+}
+
+// NewSlowLog returns a ring holding the most recent capacity entries
+// (capacity is floored at 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{ring: make([]SlowEntry, capacity), cap: capacity}
+}
+
+// Cap returns the ring capacity.
+func (l *SlowLog) Cap() int { return l.cap }
+
+// Add appends one entry, evicting the oldest when full.
+func (l *SlowLog) Add(e SlowEntry) {
+	l.mu.Lock()
+	l.ring[l.next%uint64(l.cap)] = e
+	l.next++
+	l.mu.Unlock()
+}
+
+// Snapshot returns the retained entries newest-first plus the total number
+// ever added (total - len(entries) have been evicted).
+func (l *SlowLog) Snapshot() ([]SlowEntry, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := int(l.next)
+	if n > l.cap {
+		n = l.cap
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		// next-1 is the newest slot; walk backwards.
+		out = append(out, l.ring[(l.next-1-uint64(i))%uint64(l.cap)])
+	}
+	return out, l.next
+}

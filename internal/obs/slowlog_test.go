@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSlowLogEviction(t *testing.T) {
+	l := NewSlowLog(4)
+	if l.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", l.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		l.Add(SlowEntry{TraceID: fmt.Sprintf("t%d", i)})
+	}
+	entries, total := l.Snapshot()
+	if total != 10 {
+		t.Errorf("total = %d, want 10", total)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("retained %d entries, want 4", len(entries))
+	}
+	// Newest-first: t9, t8, t7, t6.
+	for i, want := range []string{"t9", "t8", "t7", "t6"} {
+		if entries[i].TraceID != want {
+			t.Errorf("entry %d = %q, want %q (newest-first, oldest evicted)", i, entries[i].TraceID, want)
+		}
+	}
+}
+
+func TestSlowLogPartialFill(t *testing.T) {
+	l := NewSlowLog(8)
+	l.Add(SlowEntry{TraceID: "a"})
+	l.Add(SlowEntry{TraceID: "b"})
+	entries, total := l.Snapshot()
+	if total != 2 || len(entries) != 2 {
+		t.Fatalf("total=%d len=%d, want 2/2", total, len(entries))
+	}
+	if entries[0].TraceID != "b" || entries[1].TraceID != "a" {
+		t.Errorf("got order [%s %s], want newest-first [b a]", entries[0].TraceID, entries[1].TraceID)
+	}
+}
+
+func TestSlowLogCapacityFloor(t *testing.T) {
+	for _, c := range []int{0, -3} {
+		l := NewSlowLog(c)
+		if l.Cap() != 1 {
+			t.Errorf("NewSlowLog(%d).Cap() = %d, want floor 1", c, l.Cap())
+		}
+		l.Add(SlowEntry{TraceID: "x"})
+		l.Add(SlowEntry{TraceID: "y"})
+		entries, total := l.Snapshot()
+		if total != 2 || len(entries) != 1 || entries[0].TraceID != "y" {
+			t.Errorf("cap-1 ring: total=%d entries=%v", total, entries)
+		}
+	}
+}
+
+func TestSlowLogConcurrentAdds(t *testing.T) {
+	l := NewSlowLog(16)
+	const goroutines, perG = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Add(SlowEntry{TraceID: "c"})
+			}
+		}()
+	}
+	wg.Wait()
+	entries, total := l.Snapshot()
+	if total != goroutines*perG {
+		t.Errorf("total = %d, want %d", total, goroutines*perG)
+	}
+	if len(entries) != 16 {
+		t.Errorf("retained %d, want 16", len(entries))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pegasus/internal/graph"
+	"pegasus/internal/obs"
 	"pegasus/internal/summary"
 )
 
@@ -114,6 +115,11 @@ func (s *oracleSession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) {
 		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
 	}
 	s.init()
+	// The session-evaluation span: a no-op unless the caller attached a
+	// trace to cfg.Ctx (the serving layer does per request).
+	iters := 0
+	_, sp := obs.StartSpan(cfg.Ctx, "session.rwr")
+	defer func() { sp.AttrInt("nodes", n); sp.AttrInt("iterations", iters); sp.End() }()
 	c := 1 - cfg.Restart
 	// Hot-loop locals re-sliced to n so the compiler can elide bounds
 	// checks exactly as it did when these were freshly made slices.
@@ -126,6 +132,7 @@ func (s *oracleSession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) {
 		if err := ctxErr(cfg.Ctx); err != nil {
 			return nil, err
 		}
+		iters = iter + 1
 		for i := range next {
 			next[i] = 0
 		}
@@ -172,6 +179,9 @@ func (s *oracleSession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) {
 		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
 	}
 	s.init()
+	iters := 0
+	_, sp := obs.StartSpan(cfg.Ctx, "session.php")
+	defer func() { sp.AttrInt("nodes", n); sp.AttrInt("iterations", iters); sp.End() }()
 	// Hot-loop locals re-sliced to n for bounds-check elimination.
 	wdeg := s.wdeg[:n]
 	p, next := s.v1[:n], s.v2[:n]
@@ -183,6 +193,7 @@ func (s *oracleSession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) {
 		if err := ctxErr(cfg.Ctx); err != nil {
 			return nil, err
 		}
+		iters = iter + 1
 		delta := 0.0
 		for u := 0; u < n; u++ {
 			if graph.NodeID(u) == q {
@@ -263,6 +274,9 @@ func (ss *summarySession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) 
 		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
 	}
 	ss.init()
+	iters := 0
+	_, sp := obs.StartSpan(cfg.Ctx, "session.rwr")
+	defer func() { sp.AttrInt("nodes", n); sp.AttrInt("iterations", iters); sp.End() }()
 	c := 1 - cfg.Restart
 	ns := s.NumSupernodes()
 	// Hot-loop locals re-sliced to their lengths so the compiler can elide
@@ -278,6 +292,7 @@ func (ss *summarySession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) 
 		if err := ctxErr(cfg.Ctx); err != nil {
 			return nil, err
 		}
+		iters = iter + 1
 		dead := 0.0
 		for a := range mass {
 			mass[a] = 0
@@ -332,6 +347,9 @@ func (ss *summarySession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) 
 		return nil, fmt.Errorf("queries: query node %d out of range (|V|=%d)", q, n)
 	}
 	ss.init()
+	iters := 0
+	_, sp := obs.StartSpan(cfg.Ctx, "session.php")
+	defer func() { sp.AttrInt("nodes", n); sp.AttrInt("iterations", iters); sp.End() }()
 	ns := s.NumSupernodes()
 	// Hot-loop locals re-sliced to their lengths for bounds-check
 	// elimination.
@@ -347,6 +365,7 @@ func (ss *summarySession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) 
 		if err := ctxErr(cfg.Ctx); err != nil {
 			return nil, err
 		}
+		iters = iter + 1
 		for a := range sumPHP {
 			sumPHP[a] = 0
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"pegasus/internal/graph"
+	"pegasus/internal/obs"
 )
 
 // BatchRequest is the JSON body of POST /v1/query/batch: one query kind,
@@ -53,6 +54,9 @@ type BatchResponse struct {
 	// batch touched (= the number of concurrent per-shard groups).
 	ShardGroups int         `json:"shard_groups"`
 	Items       []BatchItem `json:"items"`
+	// Trace is the span timeline of this batch (one batch.shard span per
+	// shard group), present only when the client asked with ?debug=1.
+	Trace *obs.TraceView `json:"trace,omitempty"`
 }
 
 // handleBatch answers POST /v1/query/batch. One backend generation is
@@ -128,7 +132,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(shard int, idxs []int) {
 			defer wg.Done()
-			s.runShardGroup(ctx, box, req.Kind, metric, p, shard, idxs, items)
+			// One span per shard group; the group's cache/compute spans
+			// nest under it. Concurrent groups append to the shared trace
+			// safely (span appends are mutex-serialized).
+			gctx, sp := obs.StartSpan(ctx, "batch.shard")
+			sp.AttrInt("shard", shard)
+			sp.AttrInt("items", len(idxs))
+			defer sp.End()
+			s.runShardGroup(gctx, box, req.Kind, metric, p, shard, idxs, items)
 		}(shard, idxs)
 	}
 	wg.Wait()
@@ -138,6 +149,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Generation:  box.gen,
 		ShardGroups: len(groups),
 		Items:       items,
+		Trace:       debugTrace(r),
 	})
 }
 

@@ -66,6 +66,12 @@ type Config struct {
 	ShutdownGrace time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// SlowLogThreshold is the latency at or above which a request is recorded
+	// in the slow-query log served at GET /debug/slowlog, together with its
+	// full span timeline (default 500ms; negative disables the log).
+	SlowLogThreshold time.Duration
+	// SlowLogEntries bounds the slow-query ring buffer (default 128).
+	SlowLogEntries int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -126,6 +132,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.SlowLogThreshold == 0 {
+		c.SlowLogThreshold = 500 * time.Millisecond
+	}
+	if c.SlowLogEntries == 0 {
+		c.SlowLogEntries = 128
+	}
+	if c.SlowLogEntries < 1 {
+		return c, fmt.Errorf("server: SlowLogEntries must be >= 1 (or 0 for the default 128), got %d", c.SlowLogEntries)
 	}
 	return c, nil
 }

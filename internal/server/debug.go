@@ -1,0 +1,51 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"pegasus/internal/obs"
+)
+
+// SlowLogResponse is the JSON answer of GET /debug/slowlog: the effective
+// threshold and capacity, how many requests ever crossed the threshold, and
+// the retained entries newest-first (each with its full span timeline).
+type SlowLogResponse struct {
+	ThresholdMs float64         `json:"threshold_ms"`
+	Capacity    int             `json:"capacity"`
+	Total       uint64          `json:"total"`
+	Entries     []obs.SlowEntry `json:"entries"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	entries, total := s.slowlog.Snapshot()
+	writeJSON(w, http.StatusOK, SlowLogResponse{
+		ThresholdMs: float64(s.cfg.SlowLogThreshold.Microseconds()) / 1000.0,
+		Capacity:    s.slowlog.Cap(),
+		Total:       total,
+		Entries:     entries,
+	})
+}
+
+// DebugHandler returns the handler for the separate debug listener
+// (pegasus-serve -debug-addr): the net/http/pprof suite, the runtime stats,
+// the slow-query log, and the metrics snapshot. It is kept off the serving
+// mux on purpose — profiling endpoints expose internals and can be
+// expensive, so they bind to an operator-chosen (typically loopback)
+// address instead. The pprof handlers are mounted explicitly rather than
+// through the package's DefaultServeMux side effects, so importing this
+// package never adds routes to a mux it does not own.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/runtime", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, obs.ReadRuntime())
+	})
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pegasus/internal/graph"
+	"pegasus/internal/obs"
 	"pegasus/internal/queries"
 	"pegasus/internal/summary"
 )
@@ -184,6 +185,9 @@ type QueryResponse struct {
 	Scores     []float64   `json:"scores,omitempty"`
 	Dist       []int32     `json:"dist,omitempty"` // hop distances; -1 = unreached
 	Top        []NodeScore `json:"top,omitempty"`
+	// Trace is the span timeline of this request, present only when the
+	// client asked for it with ?debug=1.
+	Trace *obs.TraceView `json:"trace,omitempty"`
 }
 
 // SummarizeRequest is the JSON body of POST /v1/summarize. Absent (or null)
@@ -253,6 +257,9 @@ type SummarizeResponse struct {
 	// rebuild and nothing is persisted — reuse is silently off, and this
 	// field is how the silence is surfaced.
 	Keyable bool `json:"keyable"`
+	// Trace is the span timeline of this rebuild (per-shard build phases),
+	// present only when the client asked for it with ?debug=1.
+	Trace *obs.TraceView `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -271,27 +278,78 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/summarize", s.handleSummarize)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
 	return s.instrument(mux)
 }
 
-// instrument records request count, latency and error status per endpoint.
+// instrument wraps every request with the observability layer: a fresh trace
+// whose ID is echoed in the X-Trace-Id response header, a root "handler"
+// span the downstream spans (cache, compute, session, build phases) nest
+// under, the per-endpoint count/latency/error counters, and — when the
+// request crosses cfg.SlowLogThreshold — a slow-log entry carrying the full
+// span timeline.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		s.metrics.ObserveRequest(endpointLabel(r), time.Since(start), rec.status >= 400)
+		endpoint := endpointLabel(r)
+		tr := obs.NewTrace()
+		ctx, root := obs.StartSpan(obs.WithTrace(r.Context(), tr), "handler")
+		root.Attr("endpoint", endpoint)
+		w.Header().Set("X-Trace-Id", tr.ID())
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		root.AttrInt("status", rec.Status())
+		root.End()
+		dur := time.Since(start)
+		s.metrics.ObserveRequest(endpoint, dur, rec.Status() >= 400)
+		if s.cfg.SlowLogThreshold >= 0 && dur >= s.cfg.SlowLogThreshold {
+			v := tr.View()
+			s.slowlog.Add(obs.SlowEntry{
+				Time:       start,
+				TraceID:    tr.ID(),
+				Method:     r.Method,
+				Path:       r.URL.Path,
+				Endpoint:   endpoint,
+				Status:     rec.Status(),
+				DurationMs: float64(dur.Microseconds()) / 1000.0,
+				Trace:      &v,
+			})
+		}
 	})
 }
 
+// statusRecorder captures the response status for the metrics layer while
+// staying transparent to the handlers: Flush is forwarded so streaming
+// responses keep working behind the wrapper, and a handler that never calls
+// WriteHeader (net/http commits an implicit 200 on the first Write) is
+// reported as 200.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status int // 0 until WriteHeader; Status() reports 200 then
+}
+
+// Status returns the recorded status, defaulting to 200 when the handler
+// never called WriteHeader explicitly.
+func (w *statusRecorder) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 func (w *statusRecorder) WriteHeader(code int) {
-	w.status = code
+	if w.status == 0 {
+		w.status = code
+	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// wrapping does not hide http.Flusher from handlers that stream.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // endpointLabel buckets a request path into a stable metrics label.
@@ -315,9 +373,27 @@ func endpointLabel(r *http.Request) string {
 		return "healthz"
 	case p == "/metrics":
 		return "metrics"
+	case p == "/debug/slowlog":
+		return "slowlog"
 	default:
 		return "other"
 	}
+}
+
+// debugTrace returns the request's span timeline when the client opted in
+// with ?debug=1 (nil otherwise), for embedding in the JSON response. The
+// snapshot is taken at call time, so spans still open (the root handler
+// span) report their duration so far.
+func debugTrace(r *http.Request) *obs.TraceView {
+	if r.URL.Query().Get("debug") != "1" {
+		return nil
+	}
+	t := obs.FromContext(r.Context())
+	if t == nil {
+		return nil
+	}
+	v := t.View()
+	return &v
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -421,7 +497,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	key, compute := s.plan(box, sess, kind, metric, q, shard, req.resolved(metric))
-	val, status, err := s.cache.GetOrCompute(ctx, key, func() (any, error) { return compute(ctx) })
+	// The cache span covers the whole lookup: a hit ends it immediately, a
+	// miss stretches it over the compute (whose own spans nest inside), and
+	// a singleflight waiter shows the time spent waiting on the leader.
+	cctx, csp := obs.StartSpan(ctx, "cache")
+	val, status, err := s.cache.GetOrCompute(cctx, key, func() (any, error) { return compute(cctx) })
+	csp.Attr("status", cacheStatusLabel(status, err))
+	csp.End()
 	if err != nil {
 		// Errored lookups (timed-out waiters in particular) stay out of the
 		// hit/miss counters, or hit_rate would climb exactly when the server
@@ -437,9 +519,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Shard:      shard,
 		Cached:     status == CacheHit,
 		Generation: box.gen,
+		Trace:      debugTrace(r),
 	}
 	fillResult(&resp.Scores, &resp.Dist, &resp.Top, kind, val)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// cacheStatusLabel renders a lookup outcome for the cache span attribute.
+func cacheStatusLabel(s CacheStatus, err error) string {
+	if err != nil {
+		return "error"
+	}
+	switch s {
+	case CacheHit:
+		return "hit"
+	case CacheShared:
+		return "shared"
+	default:
+		return "miss"
+	}
 }
 
 // fillResult routes a computed value into the kind-appropriate response
@@ -509,6 +607,11 @@ func (s *Server) plan(box *backendBox, sess queries.Session, kind, metric string
 func (s *Server) metricPlan(box *backendBox, sess queries.Session, metric string, q graph.NodeID, shard int, p queryParams) (string, func(context.Context) (any, error)) {
 	pooled := func(fn func(ctx context.Context) (any, error)) func(context.Context) (any, error) {
 		return func(ctx context.Context) (any, error) {
+			// The compute span covers pool admission plus the computation;
+			// the session spans (session.rwr, session.php) nest inside it,
+			// so pool-wait time shows up as the gap between the two.
+			ctx, sp := obs.StartSpan(ctx, "compute."+metric)
+			defer sp.End()
 			var out any
 			err := s.pool.Run(ctx, func() error {
 				v, err := fn(ctx)
@@ -601,11 +704,20 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		}
 		return cfg
 	}
-	box, stats, err := s.rebuild(r.Context(), apply)
+	// The rebuild span wraps the whole incremental rebuild; the per-shard
+	// build.shard spans (and their shingle/merge phase children) nest under
+	// it via the context.
+	ctx, sp := obs.StartSpan(r.Context(), "rebuild")
+	box, stats, err := s.rebuild(ctx, apply)
 	if err != nil {
+		sp.End()
 		writeQueryError(w, err)
 		return
 	}
+	sp.AttrInt("rebuilt", stats.Rebuilt)
+	sp.AttrInt("reused", stats.Reused)
+	sp.AttrInt("loaded", stats.Loaded)
+	sp.End()
 	writeJSON(w, http.StatusOK, SummarizeResponse{
 		ReportResponse: ReportResponse{
 			Generation: box.gen,
@@ -615,6 +727,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		Reused:  stats.Reused,
 		Loaded:  stats.Loaded,
 		Keyable: len(box.keys) > 0,
+		Trace:   debugTrace(r),
 	})
 }
 
@@ -635,12 +748,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the telemetry snapshot. The default (and ?format=json)
+// is the JSON snapshot, whose shape is additive-only across releases;
+// ?format=prometheus renders the same counters in the text exposition format
+// (version 0.0.4) for scraping.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var persist *PersistMetrics
 	if s.store != nil {
 		st := s.store.Stats()
 		persist = &st
 	}
-	writeJSON(w, http.StatusOK,
-		s.metrics.SnapshotNow(s.cache.Len(), s.pool.InFlight(), s.gen.Load(), persist))
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK,
+			s.metrics.SnapshotNow(s.cache.Len(), s.pool.InFlight(), s.gen.Load(), persist))
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.WriteProm(w, s.cache.Len(), s.pool.InFlight(), s.gen.Load(), persist)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown metrics format %q (want json or prometheus)", format)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pegasus/internal/obs"
 	"pegasus/internal/persist"
 )
 
@@ -40,15 +41,26 @@ type Metrics struct {
 	latSum  atomic.Uint64 // microseconds
 
 	mu        sync.Mutex
-	endpoints map[string]*atomic.Uint64
+	endpoints map[string]*endpointStats
 	shards    []atomic.Uint64
+}
+
+// endpointStats is the per-endpoint slice of the telemetry: a request count
+// plus its own latency histogram, so the Prometheus exposition can break
+// durations down by endpoint while the JSON snapshot keeps publishing the
+// counts alone (its shape predates the histograms and stays compatible).
+type endpointStats struct {
+	count  atomic.Uint64
+	errors atomic.Uint64
+	sumUs  atomic.Uint64
+	hist   [histBuckets]atomic.Uint64
 }
 
 // NewMetrics returns a Metrics tracking numShards per-shard counters.
 func NewMetrics(numShards int) *Metrics {
 	return &Metrics{
 		start:     time.Now(),
-		endpoints: make(map[string]*atomic.Uint64),
+		endpoints: make(map[string]*endpointStats),
 		shards:    make([]atomic.Uint64, numShards),
 	}
 }
@@ -67,15 +79,21 @@ func (m *Metrics) ObserveRequest(endpoint string, d time.Duration, isError bool)
 		b = histBuckets - 1
 	}
 	m.latency[b].Add(1)
-	m.endpointCounter(endpoint).Add(1)
+	ep := m.endpointStats(endpoint)
+	ep.count.Add(1)
+	if isError {
+		ep.errors.Add(1)
+	}
+	ep.sumUs.Add(us)
+	ep.hist[b].Add(1)
 }
 
-func (m *Metrics) endpointCounter(endpoint string) *atomic.Uint64 {
+func (m *Metrics) endpointStats(endpoint string) *endpointStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c, ok := m.endpoints[endpoint]
 	if !ok {
-		c = new(atomic.Uint64)
+		c = new(endpointStats)
 		m.endpoints[endpoint] = c
 	}
 	return c
@@ -206,6 +224,21 @@ type Snapshot struct {
 	ShardQueries []uint64          `json:"shard_queries"`
 	InFlight     int               `json:"in_flight"`
 	Generation   uint64            `json:"generation"`
+	// Runtime is the Go runtime section: process health next to the request
+	// counters. Purely additive — every pre-existing field above keeps its
+	// name and shape.
+	Runtime RuntimeMetrics `json:"runtime"`
+}
+
+// RuntimeMetrics is the Go runtime section of a metrics snapshot.
+type RuntimeMetrics struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	GCCount        uint32  `json:"gc_count"`
+	GCPauseTotalMs float64 `json:"gc_pause_total_ms"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
 }
 
 // PersistMetrics is the artifact-store section of a metrics snapshot: the
@@ -271,11 +304,21 @@ func (m *Metrics) SnapshotNow(cacheEntries, inFlight int, generation uint64, per
 	s.Persist = persist
 	m.mu.Lock()
 	for name, c := range m.endpoints {
-		s.Endpoints[name] = c.Load()
+		s.Endpoints[name] = c.count.Load()
 	}
 	m.mu.Unlock()
 	for i := range m.shards {
 		s.ShardQueries[i] = m.shards[i].Load()
+	}
+	rt := obs.ReadRuntime()
+	s.Runtime = RuntimeMetrics{
+		Goroutines:     rt.Goroutines,
+		HeapAllocBytes: rt.HeapAllocBytes,
+		HeapSysBytes:   rt.HeapSysBytes,
+		HeapObjects:    rt.HeapObjects,
+		GCCount:        rt.GCCount,
+		GCPauseTotalMs: rt.GCPauseTotalMs,
+		UptimeSeconds:  uptime,
 	}
 	return s
 }

@@ -28,6 +28,7 @@ import (
 
 	"pegasus/internal/distributed"
 	"pegasus/internal/graph"
+	"pegasus/internal/obs"
 	"pegasus/internal/persist"
 )
 
@@ -40,6 +41,9 @@ type Server struct {
 	cache   *Cache
 	pool    *Pool
 	metrics *Metrics
+	// slowlog retains the most recent requests that crossed
+	// cfg.SlowLogThreshold, each with its span timeline (GET /debug/slowlog).
+	slowlog *obs.SlowLog
 	// store is the on-disk artifact store behind cfg.CacheDir (nil when
 	// persistence is disabled). Builds consult it before summarizing and
 	// persist what they build, making restarts warm.
@@ -123,6 +127,7 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Server, error) {
 		cache:      NewCache(cfg.CacheEntries),
 		pool:       NewPool(cfg.Workers),
 		metrics:    NewMetrics(be.numShards()),
+		slowlog:    obs.NewSlowLog(cfg.SlowLogEntries),
 	}
 	s.gcStore(keys)
 	shardGens := make([]uint64, be.numShards())

@@ -1,0 +1,44 @@
+package pegasus
+
+import (
+	"context"
+
+	"pegasus/internal/obs"
+	"pegasus/internal/server"
+)
+
+// Observability ---------------------------------------------------------------
+//
+// The serving daemon traces every request (X-Trace-Id, ?debug=1 timelines,
+// the /debug/slowlog ring) through the obs span tracer. The tracer is
+// exported here so embedders running the engine directly — library callers
+// of Summarize/BuildSummaryCluster — can capture the same build-phase
+// timelines: attach a trace to the context they pass in, then snapshot it.
+
+type (
+	// Trace is one request's (or one build's) span collection. Attach it to
+	// a context with ContextWithTrace and every instrumented layer below —
+	// query sessions, the summarization build phases, per-shard cluster
+	// builds — records its spans into it.
+	Trace = obs.Trace
+	// TraceView is the JSON-ready snapshot of a Trace (the shape served in
+	// ?debug=1 responses and slow-log entries).
+	TraceView = obs.TraceView
+	// SpanView is one span of a TraceView.
+	SpanView = obs.SpanView
+	// SlowLogResponse is the JSON answer of GET /debug/slowlog.
+	SlowLogResponse = server.SlowLogResponse
+)
+
+// NewTrace returns an empty trace with a fresh unique ID.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// ContextWithTrace attaches t to ctx; instrumented code below records spans
+// into it. Tracing never perturbs results — summaries built with a trace
+// attached are bit-identical to untraced builds.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return obs.WithTrace(ctx, t)
+}
+
+// TraceFromContext returns the trace attached to ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return obs.FromContext(ctx) }
