@@ -55,6 +55,7 @@ func PartitionGraph(g *Graph, m int, method string, seed int64) ([]uint32, error
 // memory at once; bound it with BuildSummaryClusterCtx(..., workers) when
 // building large graphs near the memory limit.
 func BuildSummaryCluster(g *Graph, labels []uint32, m int, budgetBits float64, cfg Config) (*Cluster, error) {
+	//lint:ctxflow public convenience entry point for callers without a context; the Ctx variant is the propagating path
 	return BuildSummaryClusterCtx(context.Background(), g, labels, m, budgetBits, cfg, 0)
 }
 

@@ -1,0 +1,206 @@
+// Command pegasus-lint mechanically enforces the repository's determinism,
+// context-propagation, concurrency, and typed-error contracts (DESIGN.md,
+// "Enforced invariants") with five analyzers: maporder, ctxflow, poolhold,
+// typederr, atomicmix.
+//
+// Direct mode loads and checks packages like a multichecker:
+//
+//	pegasus-lint ./...
+//	pegasus-lint -json ./internal/core ./internal/server
+//
+// It exits 0 when no diagnostics survive, 1 on a usage/load error, and 2
+// when diagnostics were reported.
+//
+// Vet-tool mode speaks cmd/go's vet protocol, so the same analyzers run
+// through the standard toolchain (and its build cache):
+//
+//	go vet -vettool=$(go env GOPATH)/bin/pegasus-lint ./...
+//
+// Suppression: a `//lint:<directive> <justification>` comment on the
+// flagged line or the line above silences the diagnostic; the justification
+// is mandatory. Directives: ordered (maporder), ctxflow, poolhold,
+// typederr, atomicmix.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pegasus/internal/lint"
+	"pegasus/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 1 && args[0] == "-flags" {
+		return printFlags()
+	}
+	fs := flag.NewFlagSet("pegasus-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	version := fs.String("V", "", "print version information (cmd/go vet protocol)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *version != "" {
+		return printVersion()
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetToolMode(rest[0])
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return directMode(rest, *jsonOut)
+}
+
+// printFlags implements the `-flags` handshake: cmd/go asks a vettool for
+// its flag inventory (as JSON) to validate the flags it forwards.
+func printFlags() int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{Name: "V", Bool: false, Usage: "print version information (cmd/go vet protocol)"},
+		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		return 1
+	}
+	fmt.Println(string(data))
+	return 0
+}
+
+// printVersion implements the `-V=full` handshake cmd/go performs before
+// trusting a vettool: the output must parse as
+// "<name> version devel ... buildID=<content-id>", where the build ID
+// fingerprint keys go vet's result cache to this exact binary.
+func printVersion() int {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:16])
+		}
+	}
+	fmt.Printf("pegasus-lint version devel buildID=%s\n", id)
+	return 0
+}
+
+// directMode is the multichecker path: load packages with the standard
+// toolchain and report findings.
+func directMode(patterns []string, jsonOut bool) int {
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
+		return 1
+	}
+	findings, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
+		return 1
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s\n", f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pegasus-lint: %d invariant violation(s)\n", len(findings))
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the JSON unit description cmd/go hands a vettool for each
+// package (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetToolMode analyzes one package as described by a vet .cfg file.
+func vetToolMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pegasus-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go expects the facts output file to exist even though
+	// pegasus-lint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Strip cmd/go's test-variant suffix ("pkg [pkg.test]") so package
+	// scoping (maporder.Critical etc.) matches the declared import path.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	fset := token.NewFileSet()
+	pkg, err := load.CheckFiles(fset, importPath, files, cfg.PackageFile, cfg.ImportMap)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
+		return 1
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

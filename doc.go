@@ -103,6 +103,19 @@
 //	c2, stats, _ := pegasus.BuildSummaryClusterIncremental(ctx, g, labels, 4, budget, cfg,
 //		pegasus.ClusterBuildOptions{Store: store}) // stats.Loaded == 4: pure decode
 //
+// # Contributing: enforced invariants
+//
+// The contracts the implementation depends on — no unordered map
+// iteration in determinism-critical packages, unbroken context
+// propagation, no blocking waits while holding a worker-pool slot, typed
+// ErrCorrupt/ErrVersion errors in the persistence layer, and
+// all-atomic-or-all-plain counter access — are mechanically enforced by
+// `go run ./cmd/pegasus-lint ./...`, which must exit 0 (CI runs it, and
+// TestRepoIsClean runs the same check in the test suite). A deliberate
+// exception carries a `//lint:<directive> <justification>` annotation on
+// the flagged line or the line above. See DESIGN.md, "Enforced
+// invariants".
+//
 // See API.md for the complete HTTP reference (every endpoint, schema,
 // status code and parameter-default rule), DESIGN.md for the system
 // inventory and EXPERIMENTS.md for the reproduction of the paper's

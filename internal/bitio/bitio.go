@@ -9,10 +9,18 @@ package bitio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 )
+
+// ErrMalformed marks a stream that violates the coding invariants (varint
+// overflow, length cap exceeded, non-increasing delta sequence). Every
+// reader-side failure other than plain I/O errors wraps it, so callers —
+// internal/persist wraps it once more into ErrCorrupt — can classify
+// decode failures with errors.Is.
+var ErrMalformed = errors.New("bitio: malformed stream")
 
 // Writer encodes varints and delta-coded sequences.
 type Writer struct {
@@ -68,6 +76,7 @@ func (w *Writer) PutDeltas(xs []uint32) {
 			w.PutUvarint(uint64(x))
 		} else {
 			if x <= prev {
+				//lint:typederr encoder-misuse error (caller handed a non-increasing sequence), not an input-bytes failure
 				w.err = fmt.Errorf("bitio: sequence not strictly increasing at %d (%d <= %d)", i, x, prev)
 				return
 			}
@@ -116,7 +125,7 @@ func (r *Reader) Uvarint() uint64 {
 			return 0
 		}
 		if shift >= 64 {
-			r.err = fmt.Errorf("bitio: varint overflow")
+			r.err = fmt.Errorf("varint overflow: %w", ErrMalformed)
 			return 0
 		}
 		x |= uint64(b&0x7f) << shift
@@ -159,7 +168,7 @@ func (r *Reader) Deltas(maxLen int) []uint32 {
 		return nil
 	}
 	if n < 0 || n > maxLen {
-		r.err = fmt.Errorf("bitio: sequence length %d exceeds cap %d", n, maxLen)
+		r.err = fmt.Errorf("sequence length %d exceeds cap %d: %w", n, maxLen, ErrMalformed)
 		return nil
 	}
 	out := make([]uint32, n)
@@ -173,7 +182,7 @@ func (r *Reader) Deltas(maxLen int) []uint32 {
 		// prev+v+1 around uint64 and slip a NON-increasing sequence past the
 		// range check below — decoders rely on Deltas never doing that.
 		if v > 0xffffffff {
-			r.err = fmt.Errorf("bitio: value overflows uint32")
+			r.err = fmt.Errorf("value overflows uint32: %w", ErrMalformed)
 			return nil
 		}
 		if i == 0 {
@@ -182,7 +191,7 @@ func (r *Reader) Deltas(maxLen int) []uint32 {
 			prev = prev + v + 1
 		}
 		if prev > 0xffffffff {
-			r.err = fmt.Errorf("bitio: value overflows uint32")
+			r.err = fmt.Errorf("value overflows uint32: %w", ErrMalformed)
 			return nil
 		}
 		out[i] = uint32(prev)

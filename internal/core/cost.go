@@ -89,7 +89,7 @@ func (eng *engine) supernodeCost(a uint32, pm *pairMass) float64 {
 	// them in sorted order so cost sums are bit-for-bit deterministic (map
 	// iteration order would otherwise perturb argmax tie-breaking).
 	var zeroMass []uint32
-	for x := range eng.sedges[a] {
+	for x := range eng.sedges[a] { //lint:ordered zero-mass keys are sorted below before any accumulation
 		if _, ok := pm.m[x]; !ok {
 			zeroMass = append(zeroMass, x)
 		}

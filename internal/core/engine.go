@@ -126,7 +126,7 @@ func (e *engine) addSuperedge(a, b uint32) {
 // line 8) and returns how many were removed.
 func (e *engine) removeIncidentSuperedges(a uint32) int {
 	removed := len(e.sedges[a])
-	for x := range e.sedges[a] {
+	for x := range e.sedges[a] { //lint:ordered each iteration deletes an independent mirror entry; order cannot affect the result
 		if x != a {
 			delete(e.sedges[x], a)
 		}
@@ -168,7 +168,7 @@ func (e *engine) buildSummary() *summary.Summary {
 		if e.members[a] == nil {
 			continue
 		}
-		for x := range e.sedges[a] {
+		for x := range e.sedges[a] { //lint:ordered Builder keys superedges by endpoint pair and canonicalizes order at Build
 			if x >= uint32(a) {
 				b.AddSuperedge(uint32(a), x, 1)
 			}

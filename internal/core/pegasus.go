@@ -11,6 +11,7 @@ import (
 // Summarize runs PeGaSus (Alg. 1) on g and returns a summary graph
 // personalized to cfg.Targets within the bit budget.
 func Summarize(g *graph.Graph, cfg Config) (*Result, error) {
+	//lint:ctxflow public convenience entry point for callers without a context; SummarizeCtx is the propagating path
 	return SummarizeCtx(context.Background(), g, cfg)
 }
 
@@ -104,6 +105,7 @@ func summarizeWeighted(ctx context.Context, g *graph.Graph, w *weights.Weights, 
 // objective reduces to the plain (unweighted) reconstruction error while
 // keeping PeGaSus's adaptive thresholding and relative-cost search.
 func SummarizeNonPersonalized(g *graph.Graph, cfg Config) (*Result, error) {
+	//lint:ctxflow public convenience entry point for callers without a context; the Ctx variant is the propagating path
 	return SummarizeNonPersonalizedCtx(context.Background(), g, cfg)
 }
 

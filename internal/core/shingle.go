@@ -132,7 +132,7 @@ func (e *engine) candidateGroups(ctx context.Context, iter int) [][]uint32 {
 		// Map iteration order is randomized; sort keys so runs with the same
 		// seed produce the same groups in the same order.
 		keys := make([]uint64, 0, len(byShingle))
-		for f := range byShingle {
+		for f := range byShingle { //lint:ordered keys are collected then sorted immediately below
 			keys = append(keys, f)
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })

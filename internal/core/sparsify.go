@@ -32,7 +32,7 @@ func (e *engine) sparsify(budgetBits float64) int {
 		if e.members[a] == nil {
 			continue
 		}
-		for x := range e.sedges[a] {
+		for x := range e.sedges[a] { //lint:ordered edges are collected then sorted on (mass, a, b) below before any drop
 			if x < uint32(a) {
 				continue
 			}

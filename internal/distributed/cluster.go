@@ -194,6 +194,7 @@ func PegasusSummarizer(base core.Config) Summarizer {
 // exposes cancellation, the concurrency knob, workload-restricted targets
 // and incremental reuse.
 func BuildSummaryCluster(g *graph.Graph, labels []uint32, m int, budgetBits float64, summarize Summarizer) (*Cluster, error) {
+	//lint:ctxflow public convenience entry point for callers without a context; the Ctx variant is the propagating path
 	c, _, err := BuildSummaryClusterCtx(context.Background(), g, labels, m, budgetBits, summarize, BuildOpts{})
 	return c, err
 }

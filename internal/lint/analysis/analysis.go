@@ -1,0 +1,89 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check with a
+// Run function that inspects one type-checked package (a Pass) and reports
+// Diagnostics. The container image used to grow this repository has no
+// network access and no module cache, so x/tools cannot be fetched; this
+// package reproduces exactly the subset of its API the pegasus-lint
+// analyzers need, with the same field names and semantics, so that each
+// analyzer would compile against the real go/analysis with only an import
+// path change.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags. By
+	// convention it is a single lower-case word, e.g. "maporder".
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary, the rest
+	// explains the contract the analyzer enforces and its escape hatch.
+	Doc string
+
+	// Directive is the //lint: token that suppresses this analyzer's
+	// diagnostics when written (with a justification) on the flagged line
+	// or the line above it. Empty means the analyzer's Name is used.
+	Directive string
+
+	// Run applies the check to a single package and reports diagnostics
+	// via pass.Report / pass.Reportf. The returned value is ignored by
+	// this driver (the real go/analysis uses it for inter-analyzer
+	// facts, which pegasus-lint does not need).
+	Run func(*Pass) (any, error)
+}
+
+// DirectiveName returns the //lint: suppression token for a.
+func (a *Analyzer) DirectiveName() string {
+	if a.Directive != "" {
+		return a.Directive
+	}
+	return a.Name
+}
+
+// Pass is the unit of work handed to an Analyzer: one fully type-checked
+// package plus a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs this; analyzers
+	// should prefer Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a fmt.Sprintf message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e (or nil if unknown), looking
+// through the pass's type information.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.TypesInfo.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// ObjectOf returns the object denoted by ident, consulting Defs then Uses.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional
+	Category string    // optional sub-category within the analyzer
+	Message  string
+}

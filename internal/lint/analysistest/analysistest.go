@@ -1,0 +1,338 @@
+// Package analysistest runs a pegasus-lint analyzer over GOPATH-style
+// fixture packages under testdata/src and checks its diagnostics against
+// `// want` expectations, mirroring golang.org/x/tools/go/analysis/
+// analysistest (which the offline build image cannot fetch).
+//
+// Fixture convention: testdata/src/<pkg>/*.go. A line expected to be
+// flagged carries a trailing comment
+//
+//	// want `regexp`
+//
+// (one or more backquoted or double-quoted regexps, each of which must
+// match a distinct diagnostic reported on that line). Files may import
+// other fixture packages (resolved from source under testdata/src) and
+// anything from the standard library (resolved offline through
+// `go list -export`). Diagnostics and expectations must match exactly in
+// both directions; suppression comments are honored exactly as in the real
+// drivers, so fixtures can assert that an annotated form passes.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"pegasus/internal/lint"
+	"pegasus/internal/lint/analysis"
+	"pegasus/internal/lint/load"
+)
+
+// Run analyzes the fixture packages named by pkgs (directories under
+// testdata/src) with a and reports expectation mismatches on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		runOne(t, testdata, a, name)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, name string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fset:   fset,
+		root:   filepath.Join(testdata, "src"),
+		cache:  map[string]*types.Package{},
+		parsed: map[string][]*ast.File{},
+	}
+	extern := map[string]bool{}
+	if err := imp.scanImports(name, map[string]bool{}, extern); err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	if err := imp.resolveExports(extern); err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	cp, files, err := imp.checkFixture(name)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	lp := &load.Package{Path: name, Name: files[0].Name.Name, Fset: fset, Files: files, Types: cp.pkg, Info: cp.info}
+	findings, err := lint.Run([]*load.Package{lp}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	checkExpectations(t, fset, files, findings, name)
+}
+
+// checkExpectations matches findings against // want comments, both ways.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []lint.Finding, name string) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pats, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	matched := map[key][]bool{}
+	for _, fd := range findings {
+		k := key{fd.Pos.Filename, fd.Pos.Line}
+		res := wants[k]
+		if matched[k] == nil {
+			matched[k] = make([]bool, len(res))
+		}
+		found := false
+		for i, re := range res {
+			if !matched[k][i] && re.MatchString(fd.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", name, fd.Pos, fd.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for i, re := range wants[k] {
+			if matched[k] == nil || !matched[k][i] {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", name, k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the regexps from a `// want ...` comment.
+func parseWant(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, false
+	}
+	var pats []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			pats = append(pats, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+		case '"':
+			s, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, false
+			}
+			uq, err := strconv.Unquote(s)
+			if err != nil {
+				return nil, false
+			}
+			pats = append(pats, uq)
+			rest = strings.TrimSpace(rest[len(s):])
+		default:
+			return nil, false
+		}
+	}
+	return pats, len(pats) > 0
+}
+
+// checkedPkg pairs a type-checked package with its info.
+type checkedPkg struct {
+	pkg  *types.Package
+	info *types.Info
+}
+
+// fixtureImporter resolves imports for fixture packages: paths with a
+// directory under testdata/src type-check from source; everything else
+// resolves through compiler export data located by `go list -export`.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	root    string
+	cache   map[string]*types.Package
+	parsed  map[string][]*ast.File
+	exports map[string]string
+	gc      types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.cache[path]; ok {
+		return p, nil
+	}
+	if fi.isFixture(path) {
+		cp, _, err := fi.checkFixture(path)
+		if err != nil {
+			return nil, err
+		}
+		return cp.pkg, nil
+	}
+	if fi.gc == nil {
+		fi.gc = load.ExportImporter(fi.fset, fi.exports, nil)
+	}
+	p, err := fi.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	fi.cache[path] = p
+	return p, nil
+}
+
+func (fi *fixtureImporter) isFixture(path string) bool {
+	st, err := os.Stat(filepath.Join(fi.root, path))
+	return err == nil && st.IsDir()
+}
+
+// parseFixture parses (once) every .go file of a fixture package.
+func (fi *fixtureImporter) parseFixture(name string) ([]*ast.File, error) {
+	if fs, ok := fi.parsed[name]; ok {
+		return fs, nil
+	}
+	dir := filepath.Join(fi.root, name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	fi.parsed[name] = files
+	return files, nil
+}
+
+// scanImports walks the fixture import graph rooted at name, recursing into
+// fixture-local imports and collecting everything else into extern.
+func (fi *fixtureImporter) scanImports(name string, seen, extern map[string]bool) error {
+	if seen[name] {
+		return nil
+	}
+	seen[name] = true
+	files, err := fi.parseFixture(name)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if fi.isFixture(path) {
+				if err := fi.scanImports(path, seen, extern); err != nil {
+					return err
+				}
+			} else {
+				extern[path] = true
+			}
+		}
+	}
+	return nil
+}
+
+// The export-data locations are process-wide state: every fixture pulls the
+// same stdlib set, so one `go list` per distinct miss serves all tests.
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+// resolveExports ensures export data is located for every external import
+// (plus transitive deps, via -deps) and snapshots the cache for this run.
+func (fi *fixtureImporter) resolveExports(extern map[string]bool) error {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for p := range extern {
+		if _, ok := exportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		args := append([]string{"-export", "-deps", "-json=ImportPath,Export", "--"}, missing...)
+		listed, err := load.GoList(".", args...)
+		if err != nil {
+			return err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exportCache[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fi.exports = make(map[string]string, len(exportCache))
+	for p, f := range exportCache {
+		fi.exports[p] = f
+	}
+	return nil
+}
+
+// checkFixture type-checks one fixture package from source.
+func (fi *fixtureImporter) checkFixture(name string) (checkedPkg, []*ast.File, error) {
+	files, err := fi.parseFixture(name)
+	if err != nil {
+		return checkedPkg{}, nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: fi}
+	pkg, err := conf.Check(name, fi.fset, files, info)
+	if err != nil {
+		return checkedPkg{}, nil, err
+	}
+	fi.cache[name] = pkg
+	return checkedPkg{pkg: pkg, info: info}, files, nil
+}

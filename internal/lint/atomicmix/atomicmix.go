@@ -1,0 +1,149 @@
+// Package atomicmix enforces the metrics-counter memory-model contract:
+// a field or variable that is ever accessed through sync/atomic (the
+// obs/server/persist counters all are) must be accessed through
+// sync/atomic *everywhere* — one plain load or store alongside atomic
+// updates is a data race the race detector only catches when the exact
+// interleaving fires in a test. The analyzer collects every object whose
+// address is passed to a sync/atomic function and flags every other plain
+// mention of that object in the package. A provably unshared access (e.g.
+// inside a constructor before the value escapes) can be annotated
+// //lint:atomicmix <why the value is unshared here>.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"pegasus/internal/lint/analysis"
+	"pegasus/internal/lint/lintutil"
+)
+
+// Analyzer flags mixed atomic/plain access to the same field or variable.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag fields accessed both via sync/atomic and plain loads/stores\n\n" +
+		"Once any access to a field goes through sync/atomic, every access\n" +
+		"must: mixing in one plain read or write is a data race. Use the\n" +
+		"atomic API everywhere, switch the field to an atomic.* type, or\n" +
+		"annotate //lint:atomicmix where the value is provably unshared.",
+	Run: run,
+}
+
+// atomicFuncs are the sync/atomic operations whose first argument is the
+// address of the value being operated on.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: objects whose address reaches sync/atomic, and the exact
+	// operand expressions inside those calls (which are legitimate uses).
+	atomicObjs := map[types.Object]token.Pos{}
+	atomicOperands := map[ast.Expr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			f := lintutil.CalleeFunc(pass, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" || !atomicFuncs[f.Name()] {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			operand := ast.Unparen(addr.X)
+			if obj := referencedObject(pass, operand); obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call.Pos()
+				}
+				atomicOperands[operand] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other mention of those objects is a plain access.
+	type plain struct {
+		pos  token.Pos
+		obj  types.Object
+		site token.Pos
+	}
+	var plains []plain
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if atomicOperands[expr] {
+				return false // the &x.f inside an atomic call
+			}
+			switch e := expr.(type) {
+			case *ast.SelectorExpr:
+			case *ast.Ident:
+				// A defining occurrence (struct field or var declaration)
+				// is not an access.
+				if _, isDef := pass.TypesInfo.Defs[e]; isDef {
+					return true
+				}
+			default:
+				return true
+			}
+			obj := referencedObject(pass, expr)
+			if obj == nil {
+				return true
+			}
+			if site, isAtomic := atomicObjs[obj]; isAtomic {
+				plains = append(plains, plain{pos: expr.Pos(), obj: obj, site: site})
+				return false
+			}
+			// Keep descending: x.f's base x may itself be tracked.
+			return true
+		})
+	}
+	sort.Slice(plains, func(i, j int) bool { return plains[i].pos < plains[j].pos })
+	for _, p := range plains {
+		pass.Reportf(p.pos,
+			"%s is accessed with sync/atomic at %s but plainly here — mixed access is a data race; use the atomic API everywhere or annotate //lint:atomicmix",
+			p.obj.Name(), pass.Fset.Position(p.site))
+	}
+	return nil, nil
+}
+
+// referencedObject resolves the field or variable an lvalue expression
+// denotes: x.f -> the field object f, x -> the variable x. Field objects
+// are shared across all selections of the same field, which is what makes
+// cross-function mixed-access detection work.
+func referencedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.ObjectOf(e).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Package-qualified var (pkg.V).
+		if v, ok := pass.ObjectOf(e.Sel).(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package atomicmix_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pegasus/internal/lint/analysistest"
+	"pegasus/internal/lint/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), atomicmix.Analyzer,
+		"atomicmixctr")
+}

@@ -1,0 +1,204 @@
+// Package ctxflow enforces the context-propagation contract established by
+// the cancellable build pipeline (PR 2) and the span tracer (PR 6): a
+// request's context must flow unbroken from the HTTP handler down to every
+// power iteration and build phase, because both cancellation and trace
+// spans ride on it. Two rules:
+//
+//  1. Library code must not mint fresh roots: calls to
+//     context.Background() or context.TODO() outside package main are
+//     flagged. Deliberate roots (public convenience wrappers, detached
+//     shutdown timers) carry //lint:ctxflow <why this is a true root>.
+//
+//  2. Where a ctx is in scope, ctx-capable siblings must be preferred:
+//     calling F when the same package declares a context-taking FCtx (the
+//     repo's naming convention for context variants) from a function that
+//     has a ctx parameter silently severs cancellation and tracing, and
+//     is flagged.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pegasus/internal/lint/analysis"
+	"pegasus/internal/lint/lintutil"
+)
+
+// Analyzer flags broken context propagation in library packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/TODO() in library code and calls that drop an in-scope ctx\n\n" +
+		"The cancellation and span-propagation contract requires request\n" +
+		"contexts to reach every ctx-capable callee. Pass the caller's ctx,\n" +
+		"call the Ctx-suffixed sibling, or annotate //lint:ctxflow with the\n" +
+		"reason this call site is a true context root.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		// Binaries own their root contexts (signal.NotifyContext etc.).
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		walkFuncs(file, func(fn funcNode, ctxInScope bool) {
+			body := fn.body()
+			if body == nil {
+				return
+			}
+			inspectShallow(body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				checkBackground(pass, call)
+				if ctxInScope {
+					checkDroppedCtx(pass, call)
+				}
+			})
+		}, func(ft *ast.FuncType) bool {
+			return lintutil.HasContextParam(pass, ft)
+		})
+	}
+	return nil, nil
+}
+
+// checkBackground flags fresh context roots.
+func checkBackground(pass *analysis.Pass, call *ast.CallExpr) {
+	if lintutil.IsPkgFunc(pass, call, "context", "Background", "TODO") {
+		pass.Reportf(call.Pos(),
+			"context.%s() in library code severs cancellation and trace propagation; accept a ctx from the caller or annotate //lint:ctxflow",
+			lintutil.CalleeFunc(pass, call).Name())
+	}
+}
+
+// checkDroppedCtx flags calls to F where a same-package FCtx sibling taking
+// a context exists and a ctx is in scope at the call site.
+func checkDroppedCtx(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := lintutil.CalleeFunc(pass, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg() != pass.Pkg {
+		return
+	}
+	name := callee.Name()
+	if len(name) >= 3 && name[len(name)-3:] == "Ctx" {
+		return
+	}
+	sibling := findCtxSibling(pass, callee)
+	if sibling == nil {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to %s drops the in-scope ctx; use %s so cancellation and tracing propagate (or annotate //lint:ctxflow)",
+		name, sibling.Name())
+}
+
+// findCtxSibling returns the <name>Ctx variant of f — a same-package
+// function, or a method on the same receiver type, whose signature
+// includes a context.Context — or nil.
+func findCtxSibling(pass *analysis.Pass, f *types.Func) *types.Func {
+	want := f.Name() + "Ctx"
+	if recv := lintutil.ReceiverTypeName(f); recv != "" {
+		sig := f.Type().(*types.Signature)
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == want && takesContext(m) {
+				return m
+			}
+		}
+		return nil
+	}
+	if obj, ok := pass.Pkg.Scope().Lookup(want).(*types.Func); ok && takesContext(obj) {
+		return obj
+	}
+	return nil
+}
+
+func takesContext(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if lintutil.IsContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcNode is a FuncDecl or FuncLit.
+type funcNode struct {
+	decl *ast.FuncDecl
+	lit  *ast.FuncLit
+}
+
+func (f funcNode) body() *ast.BlockStmt {
+	if f.decl != nil {
+		return f.decl.Body
+	}
+	return f.lit.Body
+}
+
+func (f funcNode) typ() *ast.FuncType {
+	if f.decl != nil {
+		return f.decl.Type
+	}
+	return f.lit.Type
+}
+
+// walkFuncs visits every function declaration and literal in file,
+// reporting for each whether a ctx parameter is in scope (declared by the
+// function itself or captured from an enclosing one). hasCtx decides
+// whether a signature declares a context parameter.
+func walkFuncs(file *ast.File, visit func(funcNode, bool), hasCtx func(*ast.FuncType) bool) {
+	var walk func(n ast.Node, inherited bool)
+	walk = func(n ast.Node, inherited bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch fn := m.(type) {
+			case *ast.FuncDecl:
+				scoped := hasCtx(fn.Type)
+				visit(funcNode{decl: fn}, scoped)
+				if fn.Body != nil {
+					walk(fn.Body, scoped)
+				}
+				return false
+			case *ast.FuncLit:
+				scoped := inherited || hasCtx(fn.Type)
+				visit(funcNode{lit: fn}, scoped)
+				walk(fn.Body, scoped)
+				return false
+			}
+			return true
+		})
+	}
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			scoped := hasCtx(fn.Type)
+			visit(funcNode{decl: fn}, scoped)
+			if fn.Body != nil {
+				walk(fn.Body, scoped)
+			}
+		}
+	}
+}
+
+// inspectShallow visits nodes in body without descending into nested
+// function literals (they are visited by walkFuncs with their own scope).
+func inspectShallow(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pegasus/internal/lint/analysistest"
+	"pegasus/internal/lint/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), ctxflow.Analyzer,
+		"ctxflowlib", "ctxflowmain")
+}

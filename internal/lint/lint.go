@@ -1,0 +1,105 @@
+// Package lint assembles the pegasus-lint analyzer suite: mechanical
+// enforcement of the determinism, context-propagation, concurrency, and
+// typed-error contracts this repository's speed claims depend on (see
+// DESIGN.md, "Enforced invariants"). The analyzers are built on the
+// stdlib-only go/analysis mirror in internal/lint/analysis and run through
+// cmd/pegasus-lint, either directly (`pegasus-lint ./...`) or as a
+// `go vet -vettool`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"pegasus/internal/lint/analysis"
+	"pegasus/internal/lint/atomicmix"
+	"pegasus/internal/lint/ctxflow"
+	"pegasus/internal/lint/load"
+	"pegasus/internal/lint/maporder"
+	"pegasus/internal/lint/poolhold"
+	"pegasus/internal/lint/typederr"
+)
+
+// All returns the full pegasus-lint analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		ctxflow.Analyzer,
+		maporder.Analyzer,
+		poolhold.Analyzer,
+		typederr.Analyzer,
+	}
+}
+
+// Finding is one unsuppressed diagnostic with its resolved position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Suppression rules applied here, uniformly
+// for all drivers (CLI, vettool, tests):
+//
+//   - a //lint:<directive> justification comment on the diagnostic's line
+//     or the line above it suppresses the diagnostic;
+//   - diagnostics inside _test.go files are dropped — the invariants
+//     guard production paths, and tests routinely violate them on purpose
+//     (e.g. ranging a map to build an expectation set).
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fileOf := func(pos token.Pos) *ast.File {
+			for _, f := range pkg.Files {
+				if f.FileStart <= pos && pos <= f.FileEnd {
+					return f
+				}
+			}
+			return nil
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				position := pkg.Fset.Position(d.Pos)
+				if strings.HasSuffix(position.Filename, "_test.go") {
+					return
+				}
+				if f := fileOf(d.Pos); f != nil && analysis.Suppressed(pkg.Fset, f, d.Pos, a.DirectiveName()) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: position, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

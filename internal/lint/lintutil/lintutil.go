@@ -1,0 +1,109 @@
+// Package lintutil holds the small type-resolution helpers shared by the
+// pegasus-lint analyzers.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pegasus/internal/lint/analysis"
+)
+
+// CalleeFunc resolves the function or method a call expression invokes, or
+// nil when it cannot be determined (calls through function-typed variables,
+// built-ins, conversions).
+func CalleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.ObjectOf(fun).(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F.
+		if f, ok := pass.ObjectOf(fun.Sel).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes one of the named functions from
+// the package with import path pkgPath.
+func IsPkgFunc(pass *analysis.Pass, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := CalleeFunc(pass, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ReceiverTypeName returns the name of the named type (after stripping one
+// pointer) that f is a method on, or "" for plain functions.
+func ReceiverTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// HasContextParam reports whether the function type ft declares a
+// context.Context parameter.
+func HasContextParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.TypeOf(field.Type); t != nil && IsContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsErrorType reports whether t is the built-in error interface type.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// PackageMatches reports whether pkgPath equals one of the listed paths or
+// lies beneath one of them (list entry "a/b" matches "a/b" and "a/b/c").
+func PackageMatches(pkgPath string, list []string) bool {
+	for _, p := range list {
+		if pkgPath == p {
+			return true
+		}
+		if len(pkgPath) > len(p) && pkgPath[:len(p)] == p && pkgPath[len(p)] == '/' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+// Package load type-checks Go packages for pegasus-lint using only the
+// standard toolchain: `go list -export -deps` supplies compiler export data
+// for every dependency (stdlib included, fully offline), and go/importer's
+// gc importer consumes it, so analyzers always see complete types.Info. It
+// is the stand-in for golang.org/x/tools/go/packages, which the build
+// image cannot fetch.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// ListPackage is the subset of `go list -json` output the loader consumes.
+type ListPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Package is one fully type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// GoList runs `go list -json` in dir with the given extra arguments and
+// decodes the JSON stream.
+func GoList(dir string, args ...string) ([]ListPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var pkgs []ListPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListPackage
+		if derr := dec.Decode(&p); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, derr)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer that reads gc export data files.
+// exports maps an import path to its export data file; importMap (may be
+// nil) applies source-level import path remapping (vendoring, test
+// variants) before the lookup.
+func ExportImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if real, ok := importMap[path]; ok {
+				path = real
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// CheckFiles parses and type-checks the named files as one package with
+// import path path, resolving imports through exports/importMap.
+func CheckFiles(fset *token.FileSet, path string, filenames []string, exports, importMap map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	return CheckParsed(fset, path, files, exports, importMap)
+}
+
+// CheckParsed type-checks already-parsed files as one package.
+func CheckParsed(fset *token.FileSet, path string, files []*ast.File, exports, importMap map[string]string) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: ExportImporter(fset, exports, importMap),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &Package{Path: path, Name: name, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load type-checks the packages matching patterns (e.g. "./...") relative
+// to dir, in one `go list -export -deps` invocation, and returns them
+// sorted by import path. Dependency-only packages are type-checked via
+// export data, never re-parsed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"-e=false",
+		"-export",
+		"-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,ImportMap,DepOnly,Standard",
+		"--",
+	}, patterns...)
+	listed, err := GoList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []ListPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var filenames []string
+		for _, name := range t.GoFiles {
+			filenames = append(filenames, filepath.Join(t.Dir, name))
+		}
+		pkg, err := CheckFiles(fset, t.ImportPath, filenames, exports, t.ImportMap)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pegasus/internal/lint/analysistest"
+	"pegasus/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	maporder.Critical = append(maporder.Critical, "maporderfix")
+	defer func() { maporder.Critical = maporder.Critical[:len(maporder.Critical)-1] }()
+	analysistest.Run(t, filepath.Join("..", "testdata"), maporder.Analyzer,
+		"maporderfix", "mapordernoncrit")
+}

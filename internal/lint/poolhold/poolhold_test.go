@@ -1,0 +1,14 @@
+package poolhold_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pegasus/internal/lint/analysistest"
+	"pegasus/internal/lint/poolhold"
+)
+
+func TestPoolHold(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), poolhold.Analyzer,
+		"poolholdwin")
+}

@@ -1,0 +1,45 @@
+// Fixture for the atomicmix analyzer: once any access to a field goes
+// through sync/atomic, every access must.
+package atomicmixctr
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+}
+
+func (c *counters) hit()  { atomic.AddUint64(&c.hits, 1) }
+func (c *counters) miss() { atomic.AddUint64(&c.misses, 1) }
+
+func (c *counters) snapshot() (uint64, uint64) {
+	return c.hits, atomic.LoadUint64(&c.misses) // want `hits is accessed with sync/atomic at .* but plainly here`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `hits is accessed with sync/atomic at .* but plainly here`
+	atomic.StoreUint64(&c.misses, 0)
+}
+
+// newCounters shows the escape hatch: the value has not escaped yet.
+func newCounters() *counters {
+	c := &counters{}
+	//lint:atomicmix constructor-local; the value has not been published yet
+	c.hits = 0
+	return c
+}
+
+// plainBox is a control: fields never touched by sync/atomic are free.
+type plainBox struct{ n int }
+
+func bump(b *plainBox) { b.n++ }
+
+// Package-level variables are tracked the same way as fields.
+var inflight int64
+
+func acquire() { atomic.AddInt64(&inflight, 1) }
+func release() { atomic.AddInt64(&inflight, -1) }
+
+func gauge() int64 {
+	return inflight // want `inflight is accessed with sync/atomic at .* but plainly here`
+}

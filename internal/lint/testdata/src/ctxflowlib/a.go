@@ -1,0 +1,61 @@
+// Fixture for the ctxflow analyzer: library code must not mint fresh
+// context roots and must prefer Ctx-suffixed siblings when a ctx is in
+// scope.
+package ctxflowlib
+
+import "context"
+
+// SummarizeCtx is the propagating variant.
+func SummarizeCtx(ctx context.Context) error { return ctx.Err() }
+
+// Summarize mints a fresh root with no justification: flagged.
+func Summarize() error {
+	return SummarizeCtx(context.Background()) // want `context\.Background\(\) in library code severs cancellation`
+}
+
+// SummarizeDefault is the annotated convenience-wrapper form: passes.
+func SummarizeDefault() error {
+	//lint:ctxflow public convenience entry point; the Ctx variant is the propagating path
+	return SummarizeCtx(context.Background())
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in library code severs cancellation`
+}
+
+// pipeline has a ctx in scope, so calling the non-Ctx sibling drops it.
+func pipeline(ctx context.Context) error {
+	if err := Summarize(); err != nil { // want `call to Summarize drops the in-scope ctx; use SummarizeCtx`
+		return err
+	}
+	return SummarizeCtx(ctx)
+}
+
+type Engine struct{}
+
+// BuildCtx is the propagating method variant.
+func (e *Engine) BuildCtx(ctx context.Context) error { return ctx.Err() }
+
+// Build is an annotated wrapper: its own Background call passes.
+func (e *Engine) Build() error {
+	//lint:ctxflow convenience wrapper for context-free callers
+	return e.BuildCtx(context.Background())
+}
+
+func runEngine(ctx context.Context, e *Engine) error {
+	return e.Build() // want `call to Build drops the in-scope ctx; use BuildCtx`
+}
+
+// spawn shows that a closure inherits the enclosing function's ctx scope.
+func spawn(ctx context.Context, e *Engine) func() error {
+	return func() error {
+		return e.Build() // want `call to Build drops the in-scope ctx; use BuildCtx`
+	}
+}
+
+// noSibling is a control: no Ctx variant exists, so nothing to prefer.
+func helper() error { return nil }
+
+func callsHelper(ctx context.Context) error {
+	return helper()
+}

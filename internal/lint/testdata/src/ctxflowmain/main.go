@@ -1,0 +1,12 @@
+// Fixture for the ctxflow analyzer: package main owns its root contexts,
+// so Background/TODO are never flagged here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,84 @@
+// Fixture for the maporder analyzer: the test appends "maporderfix" to
+// maporder.Critical, so map ranges here must be sorted or annotated.
+package maporderfix
+
+import (
+	"maps"
+	"sort"
+)
+
+func sum(m map[int]int) int {
+	s := 0
+	for k := range m { // want `range over map is unordered in determinism-critical package maporderfix`
+		s += k
+	}
+	return s
+}
+
+func sumKeysIter(m map[int]int) int {
+	s := 0
+	for k := range maps.Keys(m) { // want `range over maps\.Keys is unordered`
+		s += k
+	}
+	return s
+}
+
+func sumValuesIter(m map[int]int) int {
+	s := 0
+	for v := range maps.Values(m) { // want `range over maps\.Values is unordered`
+		s += v
+	}
+	return s
+}
+
+func pairs(m map[int]int) int {
+	s := 0
+	for k, v := range maps.All(m) { // want `range over maps\.All is unordered`
+		s += k + v
+	}
+	return s
+}
+
+// sumSorted is the fixed form: collect, sort, then iterate the slice.
+func sumSorted(m map[int]int) int {
+	keys := make([]int, 0, len(m))
+	for k := range m { //lint:ordered keys are sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	s := 0
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// annotatedAbove shows the line-above placement of the directive.
+func annotatedAbove(m map[int]bool) int {
+	n := 0
+	//lint:ordered counting members is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// unjustified shows that a bare directive with no justification does NOT
+// suppress the diagnostic.
+func unjustified(m map[int]int) int {
+	s := 0
+	//lint:ordered
+	for k := range m { // want `range over map is unordered`
+		s += k
+	}
+	return s
+}
+
+// sliceRange is a control: ranging a slice is ordered and never flagged.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,11 @@
+// Fixture for the maporder analyzer: this package is NOT in
+// maporder.Critical, so its map ranges are never flagged.
+package mapordernoncrit
+
+func sum(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}

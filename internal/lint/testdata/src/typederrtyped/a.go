@@ -1,0 +1,65 @@
+// Fixture for the typederr analyzer: the test appends "typederrtyped" to
+// both TypedPackages and NoDropPackages, so this package is held to the
+// full persist/bitio contract.
+package typederrtyped
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the one legitimate errors.New site.
+var (
+	ErrCorrupt = errors.New("typederrtyped: corrupt")
+	ErrVersion = errors.New("typederrtyped: version")
+)
+
+func decode(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("typederrtyped: empty input") // want `fmt\.Errorf without %w in typederrtyped`
+	}
+	if b[0] == 0xFF {
+		panic("unreachable tag") // want `panic in typederrtyped violates the typed-error contract`
+	}
+	if b[0] == 0xFE {
+		return errors.New("bad tag") // want `errors\.New outside a package-level sentinel declaration in typederrtyped`
+	}
+	if b[0] == 0xFD {
+		return fmt.Errorf("typederrtyped: bad tag %d: %w", b[0], ErrCorrupt)
+	}
+	return nil
+}
+
+func corrupt(where string, err error) error {
+	return fmt.Errorf("%s: %v: %w", where, err, ErrCorrupt)
+}
+
+// viaHelper shows the wrapper-argument exemption: the helper owns the
+// typing, so the inner fmt.Errorf is exempt.
+func viaHelper(b []byte) error {
+	if len(b) < 4 {
+		return corrupt("header", fmt.Errorf("need 4 bytes, have %d", len(b)))
+	}
+	return nil
+}
+
+// annotated shows the escape hatch for encoder-misuse errors.
+func annotated(n int) error {
+	if n < 0 {
+		//lint:typederr encoder-misuse error, not an input-bytes failure
+		return fmt.Errorf("typederrtyped: negative count %d", n)
+	}
+	return nil
+}
+
+// buffered shows the never-fails exemption: bytes.Buffer writes are
+// documented to always return nil.
+func buffered(b *bytes.Buffer) {
+	b.WriteByte(0x01)
+}
+
+func dropped(f func() error) {
+	f()     // want `error result silently dropped in typederrtyped`
+	_ = f() // explicit discard is the accepted convention
+}

@@ -1,0 +1,42 @@
+// Fixture for the typederr analyzer's repo-wide rule: this package is in
+// neither TypedPackages nor NoDropPackages, so only the sentinel-identity
+// check applies.
+package typederrwide
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrStale = errors.New("typederrwide: stale shard")
+
+func refresh(age int) error {
+	if age > 10 {
+		return fmt.Errorf("shard too old: %v", ErrStale) // want `fmt\.Errorf formats sentinel ErrStale without %w`
+	}
+	return nil
+}
+
+// refreshWrapped is the fixed form: %w preserves errors.Is identity.
+func refreshWrapped(age int) error {
+	if age > 10 {
+		return fmt.Errorf("shard too old: %w", ErrStale)
+	}
+	return nil
+}
+
+// annotated shows the escape hatch.
+func annotated(age int) error {
+	//lint:typederr user-facing message intentionally flattens the sentinel
+	return fmt.Errorf("shard too old after %d days: %v", age, ErrStale)
+}
+
+// anonymous errors are fine outside the typed packages.
+func anonymous() error {
+	return errors.New("not a typed package: allowed")
+}
+
+// droppedOutside: dropped errors are only flagged in NoDropPackages.
+func droppedOutside(f func() error) {
+	f()
+}

@@ -1,0 +1,249 @@
+// Package typederr enforces the typed-error contract of the persistence
+// layer (PR 5) and the repo-wide sentinel-wrapping convention:
+//
+//   - internal/persist and internal/bitio promise that malformed input
+//     bytes yield an error wrapping ErrCorrupt or ErrVersion — never a
+//     panic, never an anonymous error. The analyzer flags panic calls,
+//     fmt.Errorf without a %w verb, and errors.New outside package-level
+//     sentinel declarations in those packages.
+//
+//   - Repo-wide, passing a sentinel (a package-level `var ErrX = ...`)
+//     to fmt.Errorf without %w silently destroys errors.Is identity;
+//     flagged everywhere.
+//
+//   - In the serving/persistence/observability packages, an error result
+//     silently dropped by an expression statement is flagged; discard
+//     deliberately with `_ = f()` (the convention this analyzer accepts)
+//     or handle it. Deferred calls are exempt — `defer f.Close()` on a
+//     read-only file is idiomatic; write paths check Close explicitly.
+//
+// Escape hatch: //lint:typederr <justification>.
+package typederr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pegasus/internal/lint/analysis"
+	"pegasus/internal/lint/lintutil"
+)
+
+// TypedPackages must return only sentinel-wrapping errors and never panic
+// on input bytes. Tests may append fixture paths.
+var TypedPackages = []string{
+	"pegasus/internal/persist",
+	"pegasus/internal/bitio",
+}
+
+// NoDropPackages additionally forbid silently ignored error returns.
+// Tests may append fixture paths.
+var NoDropPackages = []string{
+	"pegasus/internal/persist",
+	"pegasus/internal/bitio",
+	"pegasus/internal/server",
+	"pegasus/internal/obs",
+}
+
+// Analyzer enforces the typed-error and error-hygiene contracts.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: "flag untyped errors in persist/bitio, lost sentinel wraps, and silently dropped errors\n\n" +
+		"persist/bitio return only ErrCorrupt/ErrVersion-wrapping errors and\n" +
+		"never panic on input; fmt.Errorf over a sentinel needs %w; hot-path\n" +
+		"error results are handled or discarded with an explicit `_ =`.\n" +
+		"Annotate //lint:typederr with a justification to opt out.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	typed := lintutil.PackageMatches(pass.Pkg.Path(), TypedPackages)
+	noDrop := lintutil.PackageMatches(pass.Pkg.Path(), NoDropPackages)
+	wrapped := wrapperArguments(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				// Package-level `var ErrX = errors.New(...)` sentinel
+				// declarations are the one legitimate errors.New site in
+				// typed packages; skip their initializers entirely.
+				if typed && n.Tok == token.VAR && isPackageLevel(pass, n) {
+					return false
+				}
+			case *ast.CallExpr:
+				if !wrapped[n] {
+					checkCall(pass, n, typed)
+				}
+			case *ast.ExprStmt:
+				if noDrop {
+					checkDroppedError(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// wrapperArguments collects error-constructing calls that appear directly
+// as arguments to a same-package call — the `corrupt("where", fmt.Errorf(
+// ...))` helper pattern. Responsibility for typing moves to the helper,
+// whose own returns this analyzer checks; the inner construction is exempt.
+func wrapperArguments(pass *analysis.Pass) map[*ast.CallExpr]bool {
+	exempt := map[*ast.CallExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := lintutil.CalleeFunc(pass, call)
+			if f == nil || f.Pkg() == nil || f.Pkg() != pass.Pkg {
+				return true
+			}
+			for _, arg := range call.Args {
+				if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					exempt[inner] = true
+				}
+			}
+			return true
+		})
+	}
+	return exempt
+}
+
+func isPackageLevel(pass *analysis.Pass, decl *ast.GenDecl) bool {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if d == decl {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, typed bool) {
+	// panic() in a typed package: the decode contract is "typed error,
+	// never a panic, on any input bytes".
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if typed {
+			if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(),
+					"panic in %s violates the typed-error contract (return an error wrapping ErrCorrupt/ErrVersion instead, or annotate //lint:typederr)",
+					pass.Pkg.Path())
+			}
+		}
+		return
+	}
+	if lintutil.IsPkgFunc(pass, call, "errors", "New") {
+		if typed {
+			pass.Reportf(call.Pos(),
+				"errors.New outside a package-level sentinel declaration in %s produces an untyped error; wrap ErrCorrupt/ErrVersion with fmt.Errorf(...%%w...) or annotate //lint:typederr",
+				pass.Pkg.Path())
+		}
+		return
+	}
+	if !lintutil.IsPkgFunc(pass, call, "fmt", "Errorf") || len(call.Args) == 0 {
+		return
+	}
+	format, ok := stringLit(call.Args[0])
+	hasWrap := ok && strings.Contains(format, "%w")
+	if typed && ok && !hasWrap {
+		pass.Reportf(call.Pos(),
+			"fmt.Errorf without %%w in %s produces an untyped error; wrap ErrCorrupt/ErrVersion (or the incoming error) or annotate //lint:typederr",
+			pass.Pkg.Path())
+		return
+	}
+	if hasWrap || !ok {
+		return
+	}
+	// Repo-wide: a sentinel argument formatted without %w loses its
+	// errors.Is identity.
+	for _, arg := range call.Args[1:] {
+		if name := sentinelName(pass, arg); name != "" {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats sentinel %s without %%w, destroying errors.Is identity; use %%w or annotate //lint:typederr", name)
+			return
+		}
+	}
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	return lit.Value, true
+}
+
+// sentinelName reports the name of a package-level error variable named
+// Err* that e denotes, or "".
+func sentinelName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return ""
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !lintutil.IsErrorType(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+// neverFails lists packages whose Writer-shaped methods are documented to
+// always return a nil error (bytes.Buffer, strings.Builder, hash.Hash);
+// forcing `_, _ =` on those would be pure noise.
+var neverFails = map[string]bool{"bytes": true, "strings": true, "hash": true}
+
+// checkDroppedError flags expression statements whose call result includes
+// an error that is neither assigned nor discarded.
+func checkDroppedError(pass *analysis.Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := pass.TypeOf(sel.X); t != nil {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && neverFails[n.Obj().Pkg().Path()] {
+				return
+			}
+		}
+	}
+	t := pass.TypeOf(call)
+	if t == nil {
+		return
+	}
+	returnsErr := false
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if lintutil.IsErrorType(t.At(i).Type()) {
+				returnsErr = true
+			}
+		}
+	default:
+		returnsErr = lintutil.IsErrorType(t)
+	}
+	if !returnsErr {
+		return
+	}
+	pass.Reportf(stmt.Pos(),
+		"error result silently dropped in %s; handle it or discard explicitly (`_ = ...`) or annotate //lint:typederr",
+		pass.Pkg.Path())
+}

@@ -1,0 +1,20 @@
+package typederr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pegasus/internal/lint/analysistest"
+	"pegasus/internal/lint/typederr"
+)
+
+func TestTypedErr(t *testing.T) {
+	typederr.TypedPackages = append(typederr.TypedPackages, "typederrtyped")
+	typederr.NoDropPackages = append(typederr.NoDropPackages, "typederrtyped")
+	defer func() {
+		typederr.TypedPackages = typederr.TypedPackages[:len(typederr.TypedPackages)-1]
+		typederr.NoDropPackages = typederr.NoDropPackages[:len(typederr.NoDropPackages)-1]
+	}()
+	analysistest.Run(t, filepath.Join("..", "testdata"), typederr.Analyzer,
+		"typederrtyped", "typederrwide")
+}

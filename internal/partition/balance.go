@@ -26,8 +26,17 @@ func BalancedFromCommunities(labels []uint32, m int, seed int64) []uint32 {
 	type comm struct {
 		members []int
 	}
+	// Visit communities in sorted-label order: the size sort below breaks
+	// ties by position, so map iteration order here would let equal-sized
+	// communities swap parts between identical-seed runs.
+	order := make([]uint32, 0, len(groups))
+	for l := range groups { //lint:ordered labels are sorted immediately below
+		order = append(order, l)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	var comms []comm
-	for _, g := range groups {
+	for _, l := range order {
+		g := groups[l]
 		// Split oversized communities into capacity-sized chunks so each
 		// chunk fits in a part.
 		for start := 0; start < len(g); start += cap {
@@ -38,7 +47,7 @@ func BalancedFromCommunities(labels []uint32, m int, seed int64) []uint32 {
 			comms = append(comms, comm{members: g[start:end]})
 		}
 	}
-	sort.Slice(comms, func(i, j int) bool { return len(comms[i].members) > len(comms[j].members) })
+	sort.SliceStable(comms, func(i, j int) bool { return len(comms[i].members) > len(comms[j].members) })
 
 	rng := rand.New(rand.NewSource(seed))
 	_ = rng

@@ -7,6 +7,7 @@ package partition
 
 import (
 	"math/rand"
+	"sort"
 
 	"pegasus/internal/graph"
 )
@@ -115,19 +116,24 @@ func louvainLevel(w *wgraph, maxPasses int, rng *rand.Rand) ([]int, bool) {
 		movedThisPass := 0
 		for _, u := range order {
 			cu := comm[u]
-			// Weights from u to each adjacent community.
+			// Weights from u to each adjacent community, accumulated in
+			// sorted-neighbor order: float addition is order-sensitive, and
+			// the gain comparison below tie-breaks on which community is
+			// seen first, so map iteration order here would make partitions
+			// differ between identical-seed runs.
 			wto := map[int]float64{}
-			for v, wt := range w.adj[u] {
+			for _, v := range sortedKeys(w.adj[u]) {
 				if v == u {
 					continue
 				}
-				wto[comm[v]] += wt
+				wto[comm[v]] += w.adj[u][v]
 			}
 			// Remove u from its community.
 			ctot[cu] -= w.deg[u]
 			best, bestGain := cu, 0.0
 			base := wto[cu] - w.deg[u]*ctot[cu]/w.m2
-			for c, wc := range wto {
+			for _, c := range sortedKeys(wto) {
+				wc := wto[c]
 				gain := (wc - w.deg[u]*ctot[c]/w.m2) - base
 				if gain > bestGain+1e-12 {
 					best, bestGain = c, gain
@@ -161,7 +167,10 @@ func aggregate(w *wgraph, comm []int, renum map[int]int) *wgraph {
 	}
 	for u := 0; u < w.n; u++ {
 		cu := renum[comm[u]]
-		for v, wt := range w.adj[u] {
+		// Sorted-neighbor order keeps the float accumulations below
+		// bit-identical across runs (map order would perturb rounding).
+		for _, v := range sortedKeys(w.adj[u]) {
+			wt := w.adj[u][v]
 			if v == u {
 				out.adj[cu][cu] += wt // already in 2× convention
 			} else {
@@ -171,13 +180,26 @@ func aggregate(w *wgraph, comm []int, renum map[int]int) *wgraph {
 	}
 	for u := 0; u < n2; u++ {
 		d := 0.0
-		for _, wt := range out.adj[u] {
-			d += wt
+		for _, v := range sortedKeys(out.adj[u]) {
+			d += out.adj[u][v]
 		}
 		out.deg[u] = d
 		out.m2 += d
 	}
 	return out
+}
+
+// sortedKeys returns m's keys in increasing order; every iteration over a
+// weight map goes through it so that float accumulation order — and with
+// it the resulting partition — is identical across runs (maporder
+// invariant).
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { //lint:ordered keys are sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // densify renumbers arbitrary labels to 0..k-1 in first-appearance order.

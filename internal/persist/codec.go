@@ -100,6 +100,7 @@ func EncodeBytes(a Artifact) ([]byte, error) {
 			return nil, err
 		}
 	default:
+		//lint:typederr encode-side usage error (malformed Artifact value), not an input-bytes failure
 		return nil, fmt.Errorf("persist: artifact must hold exactly one of summary and subgraph")
 	}
 	var crc [trailerLen]byte

@@ -48,6 +48,7 @@ type Store struct {
 // Open returns a Store over dir, creating the directory if needed.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
+		//lint:typederr store-configuration error, not an artifact-bytes failure
 		return nil, errors.New("persist: empty store directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -65,12 +66,14 @@ func (st *Store) Dir() string { return st.dir }
 // the store directory.
 func (st *Store) Path(key string) (string, error) {
 	if key == "" || len(key) > 128 {
+		//lint:typederr key-validation (usage) error, not an artifact-bytes failure
 		return "", fmt.Errorf("persist: invalid artifact key %q", key)
 	}
 	for _, c := range key {
 		switch {
 		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-', c == '_':
 		default:
+			//lint:typederr key-validation (usage) error, not an artifact-bytes failure
 			return "", fmt.Errorf("persist: invalid artifact key %q", key)
 		}
 	}
@@ -104,8 +107,8 @@ func (st *Store) put(key string, a Artifact) error {
 		return fmt.Errorf("persist: put %s: %w", key, err)
 	}
 	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("persist: put %s: %w", key, err)
 	}
 	// Flush the data to stable storage BEFORE the rename becomes visible:
@@ -114,16 +117,16 @@ func (st *Store) put(key string, a Artifact) error {
 	// path (the CRC would catch it, but the durability claim would be a
 	// lie — and the warm start would silently lose that shard).
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("persist: put %s: %w", key, err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("persist: put %s: %w", key, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("persist: put %s: %w", key, err)
 	}
 	// Persist the rename itself (the directory entry) best-effort; a lost
@@ -131,7 +134,7 @@ func (st *Store) put(key string, a Artifact) error {
 	// artifact, so a failure here is not worth failing the Put.
 	if d, err := os.Open(st.dir); err == nil {
 		_ = d.Sync()
-		d.Close()
+		_ = d.Close()
 	}
 	st.puts.Add(1)
 	st.bytesW.Add(uint64(len(raw)))

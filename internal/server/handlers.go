@@ -406,8 +406,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(raw)
-	w.Write([]byte("\n"))
+	// The status line is committed; a failed body write means the client
+	// went away, and there is nothing left to signal it to.
+	_, _ = w.Write(raw)
+	_, _ = w.Write([]byte("\n"))
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {

@@ -96,7 +96,7 @@ func (b *backendBox) sgen(shard int) uint64 {
 // can take a while on large graphs) and returns a ready Server.
 func New(ctx context.Context, g *graph.Graph, cfg Config) (*Server, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:ctxflow nil-ctx compatibility default for direct library construction
 	}
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -257,6 +257,7 @@ func (s *Server) Run(ctx context.Context) error {
 		return err
 	case <-ctx.Done():
 	}
+	//lint:ctxflow the serve ctx is already cancelled here; the drain budget must be a fresh root or Shutdown would return immediately
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

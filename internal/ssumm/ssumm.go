@@ -36,6 +36,7 @@ type Config struct {
 
 // Summarize runs SSumM on g.
 func Summarize(g *graph.Graph, cfg Config) (*core.Result, error) {
+	//lint:ctxflow public convenience entry point for callers without a context; SummarizeCtx is the propagating path
 	return SummarizeCtx(context.Background(), g, cfg)
 }
 
