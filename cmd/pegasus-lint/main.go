@@ -1,25 +1,51 @@
 // Command pegasus-lint mechanically enforces the repository's determinism,
-// context-propagation, concurrency, and typed-error contracts (DESIGN.md,
-// "Enforced invariants") with five analyzers: maporder, ctxflow, poolhold,
-// typederr, atomicmix.
+// context-propagation, concurrency, typed-error, goroutine-accounting,
+// lock-order, hot-path-allocation, and error-flow contracts (DESIGN.md,
+// "Enforced invariants") with nine analyzers: atomicmix, ctxflow, goleak,
+// hotalloc, lockorder, maporder, nilness, poolhold, typederr. Run
+// `pegasus-lint -list` for one-line descriptions.
 //
-// Direct mode loads and checks packages like a multichecker:
+// Direct mode loads and checks packages like a multichecker (including
+// `go list -test` variants, so _test.go files are covered where an
+// analyzer opts in):
 //
 //	pegasus-lint ./...
 //	pegasus-lint -json ./internal/core ./internal/server
+//	pegasus-lint -unused-suppressions ./...
+//	pegasus-lint -units units.json ./...
 //
-// It exits 0 when no diagnostics survive, 1 on a usage/load error, and 2
-// when diagnostics were reported.
+// With -units, packages come from a pre-computed
+// `go list -export -deps -test -json=<load.ListFields>` stream instead of
+// a fresh go list run; CI produces that stream once and shares the warmed
+// build cache with the vettool pass.
+//
+// Exit codes (both modes):
+//
+//	0  no diagnostics survived suppression
+//	1  usage, load, or internal error
+//	2  diagnostics were reported
 //
 // Vet-tool mode speaks cmd/go's vet protocol, so the same analyzers run
 // through the standard toolchain (and its build cache):
 //
 //	go vet -vettool=$(go env GOPATH)/bin/pegasus-lint ./...
 //
+// The -json output is one object:
+//
+//	{
+//	  "findings":   [{"Analyzer": "maporder", "Pos": {...}, "Message": "..."}, ...],
+//	  "suppressed": {"maporder": 3, "goleak": 1}
+//	}
+//
+// where findings is sorted by position and suppressed counts the
+// diagnostics silenced per analyzer by //lint: comments (absent analyzers
+// suppressed nothing). With -unused-suppressions, findings instead lists
+// stale or malformed //lint: comments (analyzer "suppressions").
+//
 // Suppression: a `//lint:<directive> <justification>` comment on the
 // flagged line or the line above silences the diagnostic; the justification
-// is mandatory. Directives: ordered (maporder), ctxflow, poolhold,
-// typederr, atomicmix.
+// is mandatory. Directives: ordered (maporder), atomicmix, ctxflow, goleak,
+// hotalloc, lockorder, nilness, poolhold, typederr.
 package main
 
 import (
@@ -45,13 +71,19 @@ func run(args []string) int {
 		return printFlags()
 	}
 	fs := flag.NewFlagSet("pegasus-lint", flag.ContinueOnError)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	jsonOut := fs.Bool("json", false, "emit results as JSON")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	unused := fs.Bool("unused-suppressions", false, "flag stale //lint: comments instead of invariant violations")
+	units := fs.String("units", "", "load packages from a pre-computed `go list -json` stream (file path or - for stdin)")
 	version := fs.String("V", "", "print version information (cmd/go vet protocol)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
 	if *version != "" {
 		return printVersion()
+	}
+	if *list {
+		return printList()
 	}
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
@@ -60,7 +92,7 @@ func run(args []string) int {
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return directMode(rest, *jsonOut)
+	return directMode(rest, *jsonOut, *unused, *units)
 }
 
 // printFlags implements the `-flags` handshake: cmd/go asks a vettool for
@@ -73,7 +105,10 @@ func printFlags() int {
 	}
 	flags := []jsonFlag{
 		{Name: "V", Bool: false, Usage: "print version information (cmd/go vet protocol)"},
-		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+		{Name: "json", Bool: true, Usage: "emit results as JSON"},
+		{Name: "list", Bool: true, Usage: "list the analyzers and exit"},
+		{Name: "unused-suppressions", Bool: true, Usage: "flag stale //lint: comments instead of invariant violations"},
+		{Name: "units", Bool: false, Usage: "load packages from a pre-computed go list -json stream"},
 	}
 	data, err := json.Marshal(flags)
 	if err != nil {
@@ -99,23 +134,59 @@ func printVersion() int {
 	return 0
 }
 
-// directMode is the multichecker path: load packages with the standard
-// toolchain and report findings.
-func directMode(patterns []string, jsonOut bool) int {
-	pkgs, err := load.Load(".", patterns...)
+// printList enumerates the suite: name, suppression directive, and the
+// first line of each analyzer's doc.
+func printList() int {
+	for _, a := range lint.All() {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Printf("%-10s //lint:%-10s %s\n", a.Name, a.DirectiveName(), summary)
+	}
+	return 0
+}
+
+// jsonResult is the documented -json output shape (see the package doc).
+type jsonResult struct {
+	Findings   []lint.Finding `json:"findings"`
+	Suppressed map[string]int `json:"suppressed"`
+}
+
+// directMode is the multichecker path: load packages (test variants
+// included) with the standard toolchain and report findings.
+func directMode(patterns []string, jsonOut, unused bool, unitsPath string) int {
+	cfg := load.Config{Dir: ".", Tests: true}
+	if unitsPath != "" {
+		f := os.Stdin
+		if unitsPath != "-" {
+			var err error
+			f, err = os.Open(unitsPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+		}
+		cfg.Units = f
+	}
+	pkgs, err := load.LoadConfig(cfg, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
 		return 1
 	}
-	findings, err := lint.Run(pkgs, lint.All())
+	res, err := lint.Run(pkgs, lint.All())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
 		return 1
+	}
+	findings := res.Findings
+	noun := "invariant violation(s)"
+	if unused {
+		findings = res.UnusedSuppressions(pkgs, lint.All())
+		noun = "stale or malformed suppression(s)"
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(jsonResult{Findings: findings, Suppressed: res.Suppressed}); err != nil {
 			fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
 			return 1
 		}
@@ -125,7 +196,7 @@ func directMode(patterns []string, jsonOut bool) int {
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "pegasus-lint: %d invariant violation(s)\n", len(findings))
+		fmt.Fprintf(os.Stderr, "pegasus-lint: %d %s\n", len(findings), noun)
 		return 2
 	}
 	return 0
@@ -191,15 +262,15 @@ func vetToolMode(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
 		return 1
 	}
-	findings, err := lint.Run([]*load.Package{pkg}, lint.All())
+	res, err := lint.Run([]*load.Package{pkg}, lint.All())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pegasus-lint: %v\n", err)
 		return 1
 	}
-	for _, f := range findings {
+	for _, f := range res.Findings {
 		fmt.Fprintf(os.Stderr, "%s\n", f)
 	}
-	if len(findings) > 0 {
+	if len(res.Findings) > 0 {
 		return 2
 	}
 	return 0

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"os/exec"
+	"strings"
 	"testing"
 
 	"pegasus/internal/lint"
@@ -11,10 +14,11 @@ import (
 // well-formed metadata.
 func TestAnalyzerSuite(t *testing.T) {
 	all := lint.All()
-	if len(all) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	if len(all) != 9 {
+		t.Fatalf("expected 9 analyzers, got %d", len(all))
 	}
 	seen := map[string]bool{}
+	dirs := map[string]bool{}
 	for _, a := range all {
 		if a.Name == "" || a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %+v is missing name, doc, or run function", a)
@@ -23,28 +27,149 @@ func TestAnalyzerSuite(t *testing.T) {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
+		if dirs[a.DirectiveName()] {
+			t.Errorf("duplicate suppression directive %q", a.DirectiveName())
+		}
+		dirs[a.DirectiveName()] = true
 	}
+}
+
+// loadRepo loads the whole module once per test run, test variants
+// included — exactly the package set `pegasus-lint ./...` checks.
+func loadRepo(t *testing.T) []*load.Package {
+	t.Helper()
+	pkgs, err := load.LoadConfig(load.Config{Dir: "../..", Tests: true}, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); did load.LoadConfig lose the module root?", len(pkgs))
+	}
+	return pkgs
 }
 
 // TestRepoIsClean runs the full suite over the entire module — exactly what
 // `pegasus-lint ./...` and the CI gate do — and demands zero findings. This
 // is the executable form of the bootstrap guarantee: every true positive in
 // the tree has been fixed or carries a justified //lint: annotation, and a
-// reintroduced violation (say, an unordered map range in internal/core)
-// fails this test before it ever reaches CI.
+// reintroduced violation (say, an unordered map range in internal/core, or
+// an unjoined goroutine in internal/server) fails this test before it ever
+// reaches CI. It also demands zero stale suppressions: an annotation whose
+// diagnostic has disappeared must be deleted with the fix that removed it.
 func TestRepoIsClean(t *testing.T) {
-	pkgs, err := load.Load("../..", "./...")
-	if err != nil {
-		t.Fatalf("loading module: %v", err)
-	}
-	if len(pkgs) < 10 {
-		t.Fatalf("suspiciously few packages loaded (%d); did load.Load lose the module root?", len(pkgs))
-	}
-	findings, err := lint.Run(pkgs, lint.All())
+	pkgs := loadRepo(t)
+	res, err := lint.Run(pkgs, lint.All())
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
-	for _, f := range findings {
+	for _, f := range res.Findings {
 		t.Errorf("%s", f)
 	}
+	for _, f := range res.UnusedSuppressions(pkgs, lint.All()) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestRepoCoversTestFiles pins the test-variant loading that maporder's
+// _test.go coverage depends on: the loaded package set must include files
+// ending in _test.go for the determinism-critical packages.
+func TestRepoCoversTestFiles(t *testing.T) {
+	pkgs := loadRepo(t)
+	found := false
+	for _, pkg := range pkgs {
+		if !strings.HasPrefix(pkg.Path, "pegasus/internal/core") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.FileStart).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no _test.go files loaded for pegasus/internal/core; test-variant loading is broken and maporder's test coverage is gone")
+	}
+}
+
+// TestUnitsMode pins the shared-loader path: packages decoded from a
+// pre-computed `go list -json` stream must produce the same package set as
+// a fresh go list run.
+func TestUnitsMode(t *testing.T) {
+	raw := goListRaw(t, "../..", "-e=false", "-export", "-deps", "-test",
+		"-json="+load.ListFields, "--", "./internal/lint/...")
+	fromUnits, err := load.LoadConfig(load.Config{Units: strings.NewReader(raw)})
+	if err != nil {
+		t.Fatalf("loading from units: %v", err)
+	}
+	fresh, err := load.LoadConfig(load.Config{Dir: "../..", Tests: true}, "./internal/lint/...")
+	if err != nil {
+		t.Fatalf("loading fresh: %v", err)
+	}
+	if len(fromUnits) != len(fresh) {
+		t.Fatalf("units path loaded %d packages, fresh load %d", len(fromUnits), len(fresh))
+	}
+	for i := range fresh {
+		if fromUnits[i].Path != fresh[i].Path {
+			t.Errorf("package %d: units %q != fresh %q", i, fromUnits[i].Path, fresh[i].Path)
+		}
+	}
+}
+
+func goListRaw(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list %v: %v", args, err)
+	}
+	return string(out)
+}
+
+// TestListFlag pins the -list output: every analyzer appears with its
+// directive and a one-line summary.
+func TestListFlag(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-list"}); code != 0 {
+			t.Fatalf("pegasus-lint -list exited %d", code)
+		}
+	})
+	for _, a := range lint.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output is missing analyzer %q:\n%s", a.Name, out)
+		}
+		if !strings.Contains(out, "//lint:"+a.DirectiveName()) {
+			t.Errorf("-list output is missing directive for %q", a.Name)
+		}
+	}
+}
+
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out
 }

@@ -35,6 +35,8 @@ func NewWriter(w io.Writer) *Writer {
 }
 
 // PutUvarint writes x in LEB128 variable-length encoding.
+//
+//pegasus:hotpath codec inner loop: one call per member/neighbor entry
 func (w *Writer) PutUvarint(x uint64) {
 	if w.err != nil {
 		return
@@ -68,6 +70,8 @@ func (w *Writer) PutFloat64(x float64) {
 
 // PutDeltas writes a strictly increasing uint32 sequence as a count followed
 // by first value and successive gaps (gap-1 since gaps are >= 1).
+//
+//pegasus:hotpath codec inner loop: one call per adjacency list
 func (w *Writer) PutDeltas(xs []uint32) {
 	w.PutUvarint(uint64(len(xs)))
 	prev := uint32(0)
@@ -77,7 +81,7 @@ func (w *Writer) PutDeltas(xs []uint32) {
 		} else {
 			if x <= prev {
 				//lint:typederr encoder-misuse error (caller handed a non-increasing sequence), not an input-bytes failure
-				w.err = fmt.Errorf("bitio: sequence not strictly increasing at %d (%d <= %d)", i, x, prev)
+				w.err = fmt.Errorf("bitio: sequence not strictly increasing at %d (%d <= %d)", i, x, prev) //lint:hotalloc cold error exit: fires at most once, then the writer is poisoned
 				return
 			}
 			w.PutUvarint(uint64(x-prev) - 1)
@@ -112,6 +116,8 @@ func NewReader(r io.Reader) *Reader {
 }
 
 // Uvarint reads one LEB128 varint.
+//
+//pegasus:hotpath codec inner loop: one call per member/neighbor entry
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -125,6 +131,7 @@ func (r *Reader) Uvarint() uint64 {
 			return 0
 		}
 		if shift >= 64 {
+			//lint:hotalloc cold error exit: fires at most once, then the reader is poisoned
 			r.err = fmt.Errorf("varint overflow: %w", ErrMalformed)
 			return 0
 		}
@@ -162,6 +169,8 @@ func (r *Reader) Exhausted() bool {
 
 // Deltas reads a sequence written by PutDeltas. maxLen guards against
 // corrupt counts.
+//
+//pegasus:hotpath codec inner loop: one call per adjacency list
 func (r *Reader) Deltas(maxLen int) []uint32 {
 	n := int(r.Uvarint())
 	if r.err != nil {
@@ -182,6 +191,7 @@ func (r *Reader) Deltas(maxLen int) []uint32 {
 		// prev+v+1 around uint64 and slip a NON-increasing sequence past the
 		// range check below — decoders rely on Deltas never doing that.
 		if v > 0xffffffff {
+			//lint:hotalloc cold error exit: fires at most once, then the reader is poisoned
 			r.err = fmt.Errorf("value overflows uint32: %w", ErrMalformed)
 			return nil
 		}
@@ -191,6 +201,7 @@ func (r *Reader) Deltas(maxLen int) []uint32 {
 			prev = prev + v + 1
 		}
 		if prev > 0xffffffff {
+			//lint:hotalloc cold error exit: fires at most once, then the reader is poisoned
 			r.err = fmt.Errorf("value overflows uint32: %w", ErrMalformed)
 			return nil
 		}

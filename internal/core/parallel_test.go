@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"hash/fnv"
+	"maps"
 	"math"
 	"reflect"
+	"slices"
 	"sort"
 	"sync"
 	"testing"
@@ -114,8 +116,10 @@ func TestWorkerCountInvariance(t *testing.T) {
 		"personalized": {Targets: []graph.NodeID{1, 2, 3}, Alpha: 1.5, BudgetRatio: 0.3, Seed: 23},
 		"abscost":      {BudgetRatio: 0.4, Seed: 29, CostMode: AbsoluteCost},
 	}
-	for gname, g := range graphs {
-		for cname, cfg := range cfgs {
+	for _, gname := range slices.Sorted(maps.Keys(graphs)) {
+		g := graphs[gname]
+		for _, cname := range slices.Sorted(maps.Keys(cfgs)) {
+			cfg := cfgs[cname]
 			cfg.Workers = 1
 			ref, err := Summarize(g, cfg)
 			if err != nil {

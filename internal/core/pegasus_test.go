@@ -242,6 +242,7 @@ func TestEngineCountsStayConsistent(t *testing.T) {
 				}
 				continue
 			}
+			//lint:ordered pure recount: every entry is validated and counted; the total is order-independent
 			for y := range e.sedges[x] {
 				if !e.alive(y) {
 					t.Fatalf("superedge to dead slot %d", y)

@@ -31,6 +31,12 @@ type Analyzer struct {
 	// or the line above it. Empty means the analyzer's Name is used.
 	Directive string
 
+	// IncludeTests keeps this analyzer's diagnostics in _test.go files.
+	// Most invariants guard production paths only, so the driver drops
+	// test-file diagnostics by default; determinism checks opt in because
+	// golden-fingerprint expectations are computed in tests too.
+	IncludeTests bool
+
 	// Run applies the check to a single package and reports diagnostics
 	// via pass.Report / pass.Reportf. The returned value is ignored by
 	// this driver (the real go/analysis uses it for inter-analyzer

@@ -21,8 +21,16 @@ const DirectivePrefix = "//lint:"
 // Suppressed reports whether a diagnostic at pos is covered by a
 // //lint:<directive> justification comment in file.
 func Suppressed(fset *token.FileSet, file *ast.File, pos token.Pos, directive string) bool {
+	return SuppressionAt(fset, file, pos, directive).IsValid()
+}
+
+// SuppressionAt returns the position of the //lint:<directive> comment
+// covering a diagnostic at pos (token.NoPos if none). Drivers use the
+// comment position to track which suppressions actually fire, so stale
+// annotations can be flagged by `pegasus-lint -unused-suppressions`.
+func SuppressionAt(fset *token.FileSet, file *ast.File, pos token.Pos, directive string) token.Pos {
 	if !pos.IsValid() {
-		return false
+		return token.NoPos
 	}
 	line := fset.Position(pos).Line
 	for _, cg := range file.Comments {
@@ -32,11 +40,26 @@ func Suppressed(fset *token.FileSet, file *ast.File, pos token.Pos, directive st
 				continue
 			}
 			if directiveMatches(c.Text, directive) {
-				return true
+				return c.Pos()
 			}
 		}
 	}
-	return false
+	return token.NoPos
+}
+
+// ParseDirective splits a comment's text into its //lint: directive token
+// and justification. ok is false when the comment is not a //lint:
+// suppression at all. A well-formed suppression has both a directive and a
+// non-empty justification; callers decide how to treat malformed ones.
+func ParseDirective(text string) (directive, justification string, ok bool) {
+	rest, found := strings.CutPrefix(text, DirectivePrefix)
+	if !found {
+		return "", "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		return rest[:i], strings.TrimSpace(rest[i+1:]), true
+	}
+	return rest, "", true
 }
 
 // directiveMatches reports whether comment text is a well-formed

@@ -67,11 +67,11 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, name string) {
 		t.Fatalf("fixture %s: %v", name, err)
 	}
 	lp := &load.Package{Path: name, Name: files[0].Name.Name, Fset: fset, Files: files, Types: cp.pkg, Info: cp.info}
-	findings, err := lint.Run([]*load.Package{lp}, []*analysis.Analyzer{a})
+	res, err := lint.Run([]*load.Package{lp}, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("fixture %s: %v", name, err)
 	}
-	checkExpectations(t, fset, files, findings, name)
+	checkExpectations(t, fset, files, res.Findings, name)
 }
 
 // checkExpectations matches findings against // want comments, both ways.

@@ -1,0 +1,552 @@
+// Package cfg builds per-function control-flow graphs over go/ast for the
+// pegasus-lint dataflow analyzers. It is the stdlib-only stand-in for
+// golang.org/x/tools/go/cfg (which the offline build image cannot fetch),
+// deliberately simplified to what the goleak/lockorder/nilness analyzers
+// need:
+//
+//   - every function body becomes a Graph of basic Blocks connected by
+//     Succs/Preds edges, with one synthetic Entry and one synthetic Exit;
+//   - a return statement edges to Exit; falling off the end of the body
+//     edges to Exit; a call to the built-in panic edges to Exit (the
+//     "panic edge" — deferred calls still run there, which is why Defers
+//     are exposed separately and analyzers treat them as applying on every
+//     Exit path);
+//   - if/for/range/switch/type-switch/select/goto/labeled statements
+//     produce the usual branch and back edges, including labeled
+//     break/continue and fallthrough;
+//   - blocks store only *simple* nodes (assignments, expressions, sends,
+//     go/defer statements, a branch's condition expression, a range
+//     statement's key/value variables). Composite control statements are
+//     never stored, so walking every block node visits each AST node at
+//     most once and in execution order.
+//
+// Expression evaluation inside one block is treated as atomic: && / || do
+// not introduce extra edges. That is a deliberate precision trade-off — the
+// invariants checked by the analyzers built on this package (goroutine
+// joins, mutex release, error-before-use) are established by statements,
+// not by short-circuit sub-expressions.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Block is one straight-line sequence of simple nodes. Execution enters at
+// the first node and leaves through one of Succs.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable, deterministic:
+	// blocks are created in source order).
+	Index int
+	// Kind describes why the block exists ("entry", "exit", "if.then",
+	// "for.head", ...) — for debugging and tests only.
+	Kind string
+	// Nodes are the simple statements and expressions executed in order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+	// Preds are the predecessor blocks (the reverse of Succs).
+	Preds []*Block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists every deferred call in source order. A deferred call runs
+	// on every path that leaves the function after its DeferStmt executed —
+	// including panic paths — so analyzers conservatively treat a deferred
+	// effect as applying at Exit.
+	Defers []*ast.CallExpr
+}
+
+// New builds the control-flow graph of body. A nil body (declaration
+// without a body) yields a graph whose Entry edges straight to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.g.Exit)
+	b.resolveGotos()
+	return b.g
+}
+
+// FuncGraph builds the graph for a *ast.FuncDecl or *ast.FuncLit; any other
+// node returns nil.
+func FuncGraph(fn ast.Node) *Graph {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return New(fn.Body)
+	case *ast.FuncLit:
+		return New(fn.Body)
+	}
+	return nil
+}
+
+// WalkShallow walks every sub-node of n in depth-first order, like
+// ast.Inspect, but does not descend into function literals: a FuncLit's body
+// is a different function with its own graph, and flow analyses must not
+// confuse its effects with the enclosing function's. The literal node itself
+// is still visited (fn returning false also prunes normally).
+func WalkShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if !fn(m) {
+			return false
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		return true
+	})
+}
+
+// ExitReachable reports whether Exit is reachable from Entry — false for
+// bodies that can only leave by panicking or that loop forever.
+func (g *Graph) ExitReachable() bool {
+	return g.reaches(g.Entry, g.Exit, nil)
+}
+
+// AllExitPathsHit reports whether every Entry→Exit path passes through at
+// least one block containing a node for which hit returns true. Vacuously
+// true when Exit is unreachable. Nodes are tested with WalkShallow, so
+// matches inside nested function literals do not count.
+func (g *Graph) AllExitPathsHit(hit func(ast.Node) bool) bool {
+	blocked := map[*Block]bool{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			WalkShallow(n, func(m ast.Node) bool {
+				if found {
+					return false
+				}
+				if hit(m) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				blocked[blk] = true
+				break
+			}
+		}
+	}
+	// A path avoiding every hit-block would be a counterexample.
+	return !g.reaches(g.Entry, g.Exit, blocked)
+}
+
+// reaches reports whether dst is reachable from src without entering a
+// blocked block (src itself is exempt from blocking only if not blocked;
+// a blocked src cannot start a counterexample path).
+func (g *Graph) reaches(src, dst *Block, blocked map[*Block]bool) bool {
+	if blocked[src] {
+		return false
+	}
+	seen := map[*Block]bool{src: true}
+	stack := []*Block{src}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == dst {
+			return true
+		}
+		for _, s := range blk.Succs {
+			if !seen[s] && !blocked[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// String renders the graph compactly for tests: "b0(entry)->b2; ...".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%s ->", blk)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+	// loops/switches currently open, innermost last; break/continue resolve
+	// against this stack.
+	targets []*target
+	labels  map[string]*Block
+	gotos   []pendingGoto
+}
+
+type target struct {
+	label     string // "" unless the statement was labeled
+	breakB    *Block
+	continueB *Block // nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// seal ends the current block with no fallthrough successor (after return,
+// break, panic, ...). Subsequent statements land in a fresh unreachable
+// block so they are still represented in the graph.
+func (b *builder) seal(kind string) {
+	b.cur = b.newBlock(kind)
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt builds one statement. label is the label attached to s ("" for
+// unlabeled statements); it names the break/continue target of loops and
+// switches.
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// The label is a join point: both fallthrough and goto enter here.
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.seal("unreachable.return")
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s.Call)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			// The panic edge: control transfers to Exit (through the
+			// deferred calls, which Graph.Defers accounts for).
+			b.edge(b.cur, b.g.Exit)
+			b.seal("unreachable.panic")
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	default:
+		// Assign, Decl, IncDec, Send, Go, Empty: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func isPanicCall(x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	done := b.newBlock("if.done")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, done)
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else, "")
+		b.edge(b.cur, done)
+	} else {
+		b.edge(cond, done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.edge(head, done)
+	}
+	b.edge(head, body)
+	b.targets = append(b.targets, &target{label: label, breakB: done, continueB: post})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.edge(b.cur, post)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post, "")
+		b.edge(b.cur, head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The ranged expression is evaluated once, before the loop.
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(b.cur, head)
+	// Key/Value are (re)assigned at the top of each iteration; storing the
+	// bare expressions keeps blocks free of composite statements.
+	if s.Key != nil {
+		head.Nodes = append(head.Nodes, s.Key)
+	}
+	if s.Value != nil {
+		head.Nodes = append(head.Nodes, s.Value)
+	}
+	b.edge(head, done) // the range may be empty
+	b.edge(head, body)
+	b.targets = append(b.targets, &target{label: label, breakB: done, continueB: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.edge(b.cur, head)
+	b.cur = done
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	cond := b.cur
+	done := b.newBlock("switch.done")
+	b.targets = append(b.targets, &target{label: label, breakB: done})
+	var clauses []*Block
+	hasDefault := false
+	for _, cc := range s.Body.List {
+		cc, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("switch.case")
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		b.edge(cond, blk)
+		clauses = append(clauses, blk)
+	}
+	if !hasDefault {
+		b.edge(cond, done)
+	}
+	// Second pass builds bodies so fallthrough can edge to the next clause.
+	i := 0
+	for _, cc := range s.Body.List {
+		cc, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = clauses[i]
+		fallsThrough := buildCaseBody(b, cc.Body)
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(b.cur, clauses[i+1])
+			b.seal("unreachable.fallthrough")
+		}
+		b.edge(b.cur, done)
+		i++
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+// buildCaseBody builds a case clause's statements and reports whether the
+// clause ends in a fallthrough.
+func buildCaseBody(b *builder, body []ast.Stmt) bool {
+	for i, st := range body {
+		if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && i == len(body)-1 {
+			return true
+		}
+		b.stmt(st, "")
+	}
+	return false
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	b.add(s.Assign)
+	cond := b.cur
+	done := b.newBlock("typeswitch.done")
+	b.targets = append(b.targets, &target{label: label, breakB: done})
+	hasDefault := false
+	for _, cc := range s.Body.List {
+		cc, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("typeswitch.case")
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(cond, blk)
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	if !hasDefault {
+		b.edge(cond, done)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	cond := b.cur
+	done := b.newBlock("select.done")
+	b.targets = append(b.targets, &target{label: label, breakB: done})
+	any := false
+	for _, cc := range s.Body.List {
+		cc, ok := cc.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		blk := b.newBlock("select.case")
+		b.edge(cond, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm, "")
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	if !any {
+		// `select {}` blocks forever: no successor at all.
+		_ = cond
+	}
+	b.cur = done
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if s.Label == nil || t.label == s.Label.Name {
+				b.edge(b.cur, t.breakB)
+				break
+			}
+		}
+		b.seal("unreachable.break")
+	case "continue":
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.continueB == nil {
+				continue // switches/selects are not continue targets
+			}
+			if s.Label == nil || t.label == s.Label.Name {
+				b.edge(b.cur, t.continueB)
+				break
+			}
+		}
+		b.seal("unreachable.continue")
+	case "goto":
+		if s.Label != nil {
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+		}
+		b.seal("unreachable.goto")
+	case "fallthrough":
+		// Handled by switchStmt when terminal; a stray one is a compile
+		// error anyway — treat as no-op.
+	}
+}
+
+// labelBlock returns (creating on demand) the block a label names, so
+// forward gotos resolve.
+func (b *builder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = map[string]*Block{}
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) resolveGotos() {
+	for _, pg := range b.gotos {
+		if blk, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, blk)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns its graph.
+func parseBody(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// hitCall returns a hit predicate matching a call to the named function.
+func hitCall(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name == name
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == name
+		}
+		return false
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := parseBody(t, "x := 1\n_ = x\njoin()")
+	if !g.ExitReachable() {
+		t.Fatal("exit unreachable in straight-line body")
+	}
+	if !g.AllExitPathsHit(hitCall("join")) {
+		t.Error("join() on the only path not detected")
+	}
+	if g.AllExitPathsHit(hitCall("missing")) {
+		t.Error("absent call reported as on all paths")
+	}
+}
+
+func TestIfElseBothArms(t *testing.T) {
+	// join() on both arms → all paths hit; only one arm → not all paths.
+	both := parseBody(t, "if c() {\njoin()\n} else {\njoin()\n}")
+	if !both.AllExitPathsHit(hitCall("join")) {
+		t.Error("join in both arms should cover all paths")
+	}
+	oneArm := parseBody(t, "if c() {\njoin()\n}")
+	if oneArm.AllExitPathsHit(hitCall("join")) {
+		t.Error("join in one arm must not cover all paths")
+	}
+	early := parseBody(t, "if c() {\nreturn\n}\njoin()")
+	if early.AllExitPathsHit(hitCall("join")) {
+		t.Error("early return path skips join; must not count as covered")
+	}
+}
+
+func TestLoopBackEdgeAndBreak(t *testing.T) {
+	g := parseBody(t, "for i := 0; i < 10; i++ {\nif c() {\nbreak\n}\nwork()\n}\njoin()")
+	if !g.ExitReachable() {
+		t.Fatal("loop with break: exit unreachable")
+	}
+	if !g.AllExitPathsHit(hitCall("join")) {
+		t.Error("join after loop should be on all exit paths")
+	}
+	// The loop body must have a back edge: some block reaches a block with a
+	// smaller index.
+	back := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && strings.HasPrefix(s.Kind, "for.") {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Errorf("no back edge found:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	g := parseBody(t, "for {\nwork()\n}")
+	if g.ExitReachable() {
+		t.Errorf("for{} without break must not reach exit:\n%s", g)
+	}
+	// Vacuous truth: no entry→exit path exists.
+	if !g.AllExitPathsHit(hitCall("never")) {
+		t.Error("AllExitPathsHit should be vacuously true when exit is unreachable")
+	}
+	withBreak := parseBody(t, "for {\nif c() {\nbreak\n}\n}")
+	if !withBreak.ExitReachable() {
+		t.Error("for{} with break must reach exit")
+	}
+}
+
+func TestRangeEmptyIterationPath(t *testing.T) {
+	// A range may iterate zero times, so a hit only inside the body does
+	// not cover all paths.
+	g := parseBody(t, "for _, v := range xs() {\n_ = v\njoin()\n}")
+	if g.AllExitPathsHit(hitCall("join")) {
+		t.Error("join inside range body must not cover the empty-range path")
+	}
+	after := parseBody(t, "for range xs() {\n}\njoin()")
+	if !after.AllExitPathsHit(hitCall("join")) {
+		t.Error("join after range should cover all paths")
+	}
+}
+
+func TestDeferCollectionAndOrder(t *testing.T) {
+	g := parseBody(t, "defer a()\nif c() {\ndefer b()\n}\ndefer a2()")
+	if len(g.Defers) != 3 {
+		t.Fatalf("expected 3 deferred calls, got %d", len(g.Defers))
+	}
+	names := []string{}
+	for _, d := range g.Defers {
+		names = append(names, d.Fun.(*ast.Ident).Name)
+	}
+	if got := strings.Join(names, ","); got != "a,b,a2" {
+		t.Errorf("defers out of source order: %s", got)
+	}
+}
+
+func TestPanicEdge(t *testing.T) {
+	g := parseBody(t, "if c() {\npanic(\"boom\")\n}\njoin()")
+	// The panic path bypasses join(), so join is NOT on all exit paths.
+	if g.AllExitPathsHit(hitCall("join")) {
+		t.Errorf("panic edge to exit must bypass join():\n%s", g)
+	}
+	// But the panic call itself plus join covers everything.
+	if !g.AllExitPathsHit(func(n ast.Node) bool {
+		return hitCall("join")(n) || isPanicCall(exprOf(n))
+	}) {
+		t.Error("panic-or-join should cover all paths")
+	}
+}
+
+func exprOf(n ast.Node) ast.Expr {
+	if e, ok := n.(ast.Expr); ok {
+		return e
+	}
+	if s, ok := n.(*ast.ExprStmt); ok {
+		return s.X
+	}
+	return nil
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	// Without default, the no-match path skips every case body.
+	noDefault := parseBody(t, "switch v() {\ncase 1:\njoin()\ncase 2:\njoin()\n}")
+	if noDefault.AllExitPathsHit(hitCall("join")) {
+		t.Error("switch without default must keep the no-match path uncovered")
+	}
+	withDefault := parseBody(t, "switch v() {\ncase 1:\njoin()\ndefault:\njoin()\n}")
+	if !withDefault.AllExitPathsHit(hitCall("join")) {
+		t.Error("switch with join in every clause incl. default should cover all paths")
+	}
+	fallth := parseBody(t, "switch v() {\ncase 1:\nfallthrough\ndefault:\njoin()\n}")
+	if !fallth.AllExitPathsHit(hitCall("join")) {
+		t.Errorf("fallthrough into the covering clause should count:\n%s", fallth)
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := parseBody(t, "select {\ncase <-a():\njoin()\ncase <-b():\n}")
+	if g.AllExitPathsHit(hitCall("join")) {
+		t.Error("second select clause lacks join; must not be covered")
+	}
+	all := parseBody(t, "select {\ncase <-a():\njoin()\ncase <-b():\njoin()\n}")
+	if !all.AllExitPathsHit(hitCall("join")) {
+		t.Error("join in every clause should cover all paths")
+	}
+}
+
+func TestLabeledContinueAndGoto(t *testing.T) {
+	g := parseBody(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			if c() {
+				continue outer
+			}
+			break
+		}
+		work()
+	}
+	join()`)
+	if !g.ExitReachable() {
+		t.Fatalf("labeled loops: exit unreachable:\n%s", g)
+	}
+	if !g.AllExitPathsHit(hitCall("join")) {
+		t.Error("join after labeled loops should cover all paths")
+	}
+
+	gt := parseBody(t, "i := 0\nloop:\nif c() {\ni++\ngoto loop\n}\njoin()")
+	if !gt.ExitReachable() {
+		t.Fatalf("goto loop: exit unreachable:\n%s", gt)
+	}
+	if !gt.AllExitPathsHit(hitCall("join")) {
+		t.Error("join after goto loop should cover all paths")
+	}
+	// And the goto must create a cycle (a real back edge).
+	cyc := false
+	for _, b := range gt.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != gt.Exit {
+				cyc = true
+			}
+		}
+	}
+	if !cyc {
+		t.Errorf("goto produced no back edge:\n%s", gt)
+	}
+}
+
+func TestWalkShallowSkipsFuncLit(t *testing.T) {
+	g := parseBody(t, "go func() {\njoin()\n}()\n")
+	// join() only occurs inside the literal; shallow walks must not see it.
+	if g.AllExitPathsHit(hitCall("join")) {
+		t.Error("call inside a FuncLit must not count for the enclosing function")
+	}
+}
+
+func TestNodesAppearOnce(t *testing.T) {
+	// Every simple node must land in exactly one block: double-stored nodes
+	// would double-apply transfer functions.
+	g := parseBody(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	for i := 0; i < x; i++ {
+		x += i
+	}
+	switch x {
+	case 1:
+		x = 4
+	}
+	_ = x`)
+	seen := map[ast.Node]string{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if prev, dup := seen[n]; dup {
+				t.Errorf("node %T stored in both %s and %s", n, prev, b)
+			}
+			seen[n] = b.String()
+		}
+	}
+}
+
+func TestFuncGraphForms(t *testing.T) {
+	src := "package p\nfunc f() { g() }\nvar v = func() { g() }"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := file.Decls[0].(*ast.FuncDecl)
+	if FuncGraph(decl) == nil {
+		t.Error("FuncGraph(FuncDecl) = nil")
+	}
+	lit := file.Decls[1].(*ast.GenDecl).Specs[0].(*ast.ValueSpec).Values[0].(*ast.FuncLit)
+	if FuncGraph(lit) == nil {
+		t.Error("FuncGraph(FuncLit) = nil")
+	}
+	if FuncGraph(file) != nil {
+		t.Error("FuncGraph(non-function) should be nil")
+	}
+}

@@ -1,0 +1,218 @@
+// Package dataflow is the worklist solver under the flow-sensitive
+// pegasus-lint analyzers (goleak, lockorder, nilness). It computes a
+// fixpoint of per-block states over a cfg.Graph in either direction, with
+// the state type supplied by the client. The solver is deterministic: the
+// worklist is processed in ascending block order, and cfg builds blocks in
+// source order, so identical inputs always produce identical states (and
+// therefore identical diagnostics — the same contract every other part of
+// this repository keeps).
+//
+// For the common shape — a small integer lattice per program variable —
+// the Facts type maps types.Object keys to lattice values with pointwise
+// join helpers, so an analyzer's Transfer function is just a switch over
+// block nodes.
+package dataflow
+
+import (
+	"go/types"
+
+	"pegasus/internal/lint/cfg"
+)
+
+// Direction selects forward (entry→exit) or backward (exit→entry)
+// propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Problem describes one dataflow analysis over a graph.
+type Problem[S any] struct {
+	Dir Direction
+
+	// Boundary is the input state of the entry block (Forward) or exit
+	// block (Backward).
+	Boundary S
+
+	// Init produces the optimistic initial input state for every other
+	// block (typically bottom: "nothing known yet").
+	Init func() S
+
+	// Transfer computes a block's output state from its input state. It
+	// must not retain or mutate in (clone first); the solver may call it
+	// many times per block.
+	Transfer func(b *cfg.Block, in S) S
+
+	// Join combines two states flowing into the same block. It must be
+	// commutative, associative, and monotone (joining can only grow a
+	// state in lattice order), or the solver may not converge.
+	Join func(a, b S) S
+
+	// Equal reports state equality; it terminates the iteration.
+	Equal func(a, b S) bool
+}
+
+// Result holds the converged states: In[b] is the state entering b in the
+// analysis direction, Out[b] the state leaving it.
+type Result[S any] struct {
+	In  map[*cfg.Block]S
+	Out map[*cfg.Block]S
+}
+
+// maxRoundsPerBlock bounds solver work for safety: a well-formed finite
+// lattice converges in O(height) rounds, so hitting the cap means a buggy
+// (non-monotone) Transfer/Join; the partial fixpoint is returned rather
+// than looping forever.
+const maxRoundsPerBlock = 256
+
+// Solve iterates p over g to a fixpoint and returns the per-block states.
+func Solve[S any](g *cfg.Graph, p Problem[S]) Result[S] {
+	res := Result[S]{In: map[*cfg.Block]S{}, Out: map[*cfg.Block]S{}}
+	boundary := g.Entry
+	if p.Dir == Backward {
+		boundary = g.Exit
+	}
+	into := func(b *cfg.Block) []*cfg.Block {
+		if p.Dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	outof := func(b *cfg.Block) []*cfg.Block {
+		if p.Dir == Forward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+
+	for _, b := range g.Blocks {
+		if b == boundary {
+			res.In[b] = p.Boundary
+		} else {
+			res.In[b] = p.Init()
+		}
+		res.Out[b] = p.Transfer(b, res.In[b])
+	}
+
+	// Deterministic worklist: a boolean membership set drained in ascending
+	// block order each round.
+	pending := make([]bool, len(g.Blocks))
+	for i := range pending {
+		pending[i] = true
+	}
+	budget := maxRoundsPerBlock * (len(g.Blocks) + 1)
+	for budget > 0 {
+		advanced := false
+		for i, b := range g.Blocks {
+			if !pending[i] {
+				continue
+			}
+			pending[i] = false
+			budget--
+			in := res.In[b]
+			if b != boundary {
+				first := true
+				for _, q := range into(b) {
+					if first {
+						in = res.Out[q]
+						first = false
+					} else {
+						in = p.Join(in, res.Out[q])
+					}
+				}
+				if first {
+					in = p.Init() // unreachable block: keep optimistic input
+				}
+			}
+			out := p.Transfer(b, in)
+			res.In[b] = in
+			if !p.Equal(out, res.Out[b]) {
+				res.Out[b] = out
+				advanced = true
+				for _, q := range outof(b) {
+					pending[q.Index] = true
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return res
+}
+
+// Facts is the standard state shape: a small integer lattice value per
+// types.Object, with absent keys meaning 0 (bottom). The zero value is an
+// empty fact set; all methods treat nil as empty.
+type Facts map[types.Object]int
+
+// Get returns the lattice value for o (0 when absent).
+func (f Facts) Get(o types.Object) int { return f[o] }
+
+// Clone returns an independent copy of f.
+func (f Facts) Clone() Facts {
+	c := make(Facts, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// Set returns f with o set to v, copying first so shared states are never
+// mutated (0 deletes the key, keeping Equal canonical).
+func (f Facts) Set(o types.Object, v int) Facts {
+	c := f.Clone()
+	if v == 0 {
+		delete(c, o)
+	} else {
+		c[o] = v
+	}
+	return c
+}
+
+// JoinMax is the pointwise-maximum join — the right join for may-analyses
+// where larger values mean "worse is possible on some path".
+func JoinMax(a, b Facts) Facts {
+	c := a.Clone()
+	for k, v := range b {
+		if v > c[k] {
+			c[k] = v
+		}
+	}
+	return c
+}
+
+// JoinMin is the pointwise-minimum join over the keys present in either
+// state, with absent keys contributing 0 — the join for must-analyses
+// ("only facts established on every path survive").
+func JoinMin(a, b Facts) Facts {
+	c := make(Facts, len(a))
+	for k, v := range a {
+		w := b[k]
+		m := v
+		if w < m {
+			m = w
+		}
+		if m != 0 {
+			c[k] = m
+		}
+	}
+	return c
+}
+
+// FactsEqual reports pointwise equality, treating absent keys as 0.
+func FactsEqual(a, b Facts) bool {
+	for k, v := range a {
+		if v != b[k] {
+			return false
+		}
+	}
+	for k, v := range b {
+		if v != a[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+// Package goleak enforces the goroutine-accounting contract: every `go`
+// statement in library code must be provably joined or cancellable, or a
+// caller that returns early (timeout, cancellation, error) strands the
+// goroutine — the failure mode that matters most for the streaming
+// compactor and fleet-router work, where per-request goroutines multiply.
+//
+// A spawned goroutine counts as accounted when its body, analyzed over its
+// control-flow graph:
+//
+//   - calls sync.WaitGroup.Done on every path to exit (a deferred Done
+//     covers every exit, including panics);
+//   - sends on or closes an externally provided channel on every path to
+//     exit (the result-channel pattern: the spawner receives); or
+//   - selects on (or receives from) a ctx.Done-derived channel, so
+//     cancellation reaches it even when it loops forever.
+//
+// Goroutines that can only leave their body by looping forever must carry
+// the ctx.Done case — a WaitGroup.Done that is never reached joins nothing.
+// Package main is exempt (process lifetime owns its goroutines), as are
+// _test.go files (the driver drops their diagnostics).
+//
+// Escape hatch: //lint:goleak <who owns this goroutine and how it ends>.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pegasus/internal/lint/analysis"
+	"pegasus/internal/lint/cfg"
+)
+
+// Analyzer flags goroutines that are neither joined nor cancellable.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "flag go statements whose goroutine is neither joined nor cancellable\n\n" +
+		"Every goroutine spawned by library code must be joined by a\n" +
+		"sync.WaitGroup, resolve a result channel on every path, or select on\n" +
+		"a ctx.Done-derived channel; otherwise an early-returning caller\n" +
+		"leaks it. Annotate //lint:goleak with an ownership argument where a\n" +
+		"goroutine is deliberately detached.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	// Bodies of same-package functions, so `go f()` can be checked too.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, gs, decls)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkGo(pass *analysis.Pass, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if fd, ok := decls[pass.TypesInfo.Uses[fun]]; ok {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd, ok := decls[pass.TypesInfo.Uses[fun.Sel]]; ok {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		pass.Reportf(gs.Go,
+			"go statement spawns a function whose body this package cannot see; the goroutine cannot be proven joined — wrap it in a closure that joins (WaitGroup.Done, result-channel send, or ctx.Done select) or annotate //lint:goleak")
+		return
+	}
+	g := cfg.New(body)
+
+	// A deferred join covers every exit path, panics included.
+	for _, d := range g.Defers {
+		if isJoinCall(pass, body, d) {
+			return
+		}
+	}
+	// Cancellation wiring anywhere in the body keeps an otherwise unbounded
+	// goroutine stoppable.
+	if hasCtxDone(pass, body) {
+		return
+	}
+	if !g.ExitReachable() {
+		pass.Reportf(gs.Go,
+			"goroutine loops forever with no ctx.Done-derived cancellation; it can never be stopped or joined — add a ctx.Done select (or annotate //lint:goleak)")
+		return
+	}
+	if g.AllExitPathsHit(func(n ast.Node) bool { return isJoinNode(pass, body, n) }) {
+		return
+	}
+	pass.Reportf(gs.Go,
+		"goroutine is not joined on every path: add a deferred WaitGroup.Done, send on/close its result channel on all paths, or select on ctx.Done (or annotate //lint:goleak)")
+}
+
+// isJoinNode reports whether n is a join event for a goroutine with the
+// given body: a WaitGroup.Done call, or a send on / close of an external
+// channel.
+func isJoinNode(pass *analysis.Pass, body *ast.BlockStmt, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return isExternalChan(pass, body, n.Chan)
+	case *ast.CallExpr:
+		return isJoinCall(pass, body, n)
+	}
+	return false
+}
+
+func isJoinCall(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	if isWaitGroupDone(pass, call) {
+		return true
+	}
+	// close(ch) on an external channel resolves the spawner's receive.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+			return isExternalChan(pass, body, call.Args[0])
+		}
+	}
+	return false
+}
+
+// isWaitGroupDone reports whether call is (*sync.WaitGroup).Done (directly
+// or through an embedded field).
+func isWaitGroupDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	f, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == "sync" && f.Name() == "Done"
+}
+
+// isExternalChan reports whether e is a channel value that originates
+// outside the goroutine body — captured from the enclosing function or
+// received as a parameter — so that a send/close on it is observable by the
+// spawner. A channel made inside the body joins nobody.
+func isExternalChan(pass *analysis.Pass, body *ast.BlockStmt, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	// Resolve the root identifier; sends through struct fields
+	// (s.errc <- v) count as external.
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.ObjectOf(x)
+			if obj == nil {
+				return false
+			}
+			// Declared inside the goroutine body → internal.
+			return !(obj.Pos() >= body.Pos() && obj.Pos() <= body.End())
+		case *ast.SelectorExpr:
+			return true
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// hasCtxDone reports whether the body receives from a ctx.Done-derived
+// channel: `<-ctx.Done()` (in a select case or bare), or a receive from a
+// variable assigned from ctx.Done().
+func hasCtxDone(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	// First pass: channel variables assigned from a Done() call.
+	doneVars := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isDoneCall(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					doneVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op.String() != "<-" {
+			return true
+		}
+		if isDoneCall(pass, ue.X) {
+			found = true
+			return false
+		}
+		if id, ok := ast.Unparen(ue.X).(*ast.Ident); ok && doneVars[pass.TypesInfo.ObjectOf(id)] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isDoneCall reports whether e is ctx.Done() for a context.Context ctx.
+func isDoneCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	f, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == "context"
+}

@@ -1,0 +1,13 @@
+package goleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pegasus/internal/lint/analysistest"
+	"pegasus/internal/lint/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), goleak.Analyzer, "goleakspawn")
+}

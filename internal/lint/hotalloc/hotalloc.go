@@ -1,0 +1,221 @@
+// Package hotalloc keeps the marked hot paths allocation-free. Functions
+// whose doc comment carries a `//pegasus:hotpath` marker — the per-node
+// random-walk iterations, cache lookups, pooled computes, and codec inner
+// loops — sit inside loops that run millions of times per query, where a
+// single per-iteration allocation turns into GC pressure that dwarfs the
+// arithmetic.
+//
+// Inside every loop body of a marked function the analyzer flags the
+// allocation shapes that escape-analysis reliably heap-allocates:
+//
+//   - map, slice, or struct-pointer composite literals and make/new calls
+//     (a fresh allocation per iteration; hoist outside the loop and reuse);
+//   - function literals (a closure allocated per iteration when it captures
+//     anything; hoist the closure above the loop and mutate the captured
+//     variables instead);
+//   - calls into package fmt (formatting allocates, and hot paths should
+//     not format at all);
+//   - interface boxing: passing a concrete value to an interface-typed
+//     parameter or converting to an interface type (the value is copied to
+//     the heap to fit in the interface).
+//
+// Code outside loop bodies is not checked — setup allocation amortizes.
+//
+// Escape hatch: //lint:hotalloc <why this allocation is amortized or
+// unavoidable>.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pegasus/internal/lint/analysis"
+	"pegasus/internal/lint/lintutil"
+)
+
+// Marker is the doc-comment marker that opts a function into enforcement.
+const Marker = "//pegasus:hotpath"
+
+// Analyzer flags per-iteration allocations in //pegasus:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag per-iteration allocations inside //pegasus:hotpath functions\n\n" +
+		"Loop bodies of functions marked //pegasus:hotpath must not allocate:\n" +
+		"no composite literals, make/new, closures, fmt calls, or interface\n" +
+		"boxing per iteration. Annotate //lint:hotalloc where an allocation\n" +
+		"is deliberate.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks fd's body and checks every loop body it contains,
+// including loops nested in loops (the inner body is part of the outer
+// body, so one pass over all loop-body regions suffices).
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		case *ast.FuncLit:
+			// A nested literal's loops are its own hot path only if the
+			// literal is itself inside a loop — in which case the literal was
+			// already flagged. Don't descend.
+			return false
+		default:
+			return true
+		}
+		checkLoopBody(pass, body)
+		return true
+	})
+}
+
+// checkLoopBody flags allocation shapes directly inside body. Nested loops
+// are skipped here (the Inspect in checkFunc visits them separately), so
+// each statement is checked exactly once against its innermost loop.
+func checkLoopBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	for _, stmt := range body.List {
+		switch stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			continue
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				return false // handled as its own loop body
+			case *ast.RangeStmt:
+				return false
+			case *ast.FuncLit:
+				pass.Reportf(n.Pos(),
+					"function literal inside a hotpath loop allocates a closure per iteration; hoist it above the loop and mutate captured variables (or annotate //lint:hotalloc)")
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if _, lit := ast.Unparen(n.X).(*ast.CompositeLit); lit {
+						pass.Reportf(n.Pos(),
+							"&composite literal inside a hotpath loop heap-allocates per iteration; hoist and reuse (or annotate //lint:hotalloc)")
+					}
+				}
+			case *ast.CompositeLit:
+				if t := pass.TypeOf(n); t != nil && allocatesOnHeap(t) {
+					pass.Reportf(n.Pos(),
+						"%s literal inside a hotpath loop allocates per iteration; hoist and reuse (or annotate //lint:hotalloc)",
+						typeKind(t))
+				}
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := pass.ObjectOf(id).(*types.Builtin); builtin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(),
+					"%s inside a hotpath loop allocates per iteration; hoist the allocation and reuse (or annotate //lint:hotalloc)", id.Name)
+			}
+			return
+		}
+	}
+	if f := lintutil.CalleeFunc(pass, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(),
+			"fmt.%s inside a hotpath loop allocates for formatting; move the formatting out of the loop (or annotate //lint:hotalloc)", f.Name())
+		return
+	}
+	// Interface boxing: a concrete argument passed to an interface-typed
+	// parameter is copied to the heap.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		// Conversion to an interface type, e.g. any(x) or error(e).
+		if t := pass.TypeOf(call.Fun); t != nil && types.IsInterface(t.Underlying()) && len(call.Args) == 1 {
+			if at := pass.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at.Underlying()) {
+				pass.Reportf(call.Pos(),
+					"conversion to %s inside a hotpath loop boxes the value onto the heap (or annotate //lint:hotalloc)", t.String())
+			}
+		}
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"passing %s to an interface parameter inside a hotpath loop boxes it onto the heap per iteration (or annotate //lint:hotalloc)",
+			at.String())
+	}
+}
+
+// allocatesOnHeap reports whether a composite literal of type t allocates:
+// maps and slices always do; plain structs and arrays are stack values.
+func allocatesOnHeap(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	case *types.Pointer:
+		return true // &T{} via composite literal of pointer type
+	}
+	return false
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	default:
+		return "composite"
+	}
+}

@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pegasus/internal/lint/analysistest"
+	"pegasus/internal/lint/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), hotalloc.Analyzer, "hotallocloop")
+}

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 )
 
 // ListPackage is the subset of `go list -json` output the loader consumes.
@@ -33,7 +34,12 @@ type ListPackage struct {
 	ImportMap  map[string]string
 	DepOnly    bool
 	Standard   bool
+	ForTest    string // set on test variants: the import path under test
 }
+
+// ListFields is the -json field list matching ListPackage; `go list` runs
+// that feed DecodeUnits (the shared-loader path in CI) must use it.
+const ListFields = "ImportPath,Name,Dir,Export,GoFiles,ImportMap,DepOnly,Standard,ForTest"
 
 // Package is one fully type-checked package ready for analysis.
 type Package struct {
@@ -134,26 +140,88 @@ func CheckParsed(fset *token.FileSet, path string, files []*ast.File, exports, i
 // sorted by import path. Dependency-only packages are type-checked via
 // export data, never re-parsed.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	args := append([]string{
-		"-e=false",
-		"-export",
-		"-deps",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,ImportMap,DepOnly,Standard",
-		"--",
-	}, patterns...)
-	listed, err := GoList(dir, args...)
+	return LoadConfig(Config{Dir: dir}, patterns...)
+}
+
+// Config controls package loading beyond the defaults of Load.
+type Config struct {
+	// Dir is the working directory for `go list` (defaults to ".").
+	Dir string
+
+	// Tests loads `go list -test` variants so _test.go files are analyzed
+	// too. Where a test variant exists ("pkg [pkg.test]"), it replaces the
+	// plain package — the variant's GoFiles are a superset, so analyzing
+	// both would duplicate every non-test diagnostic. Variant paths are
+	// normalized: "pkg [pkg.test]" loads as "pkg", and external test
+	// packages keep their "pkg_test" path (scoped analyzers trim the
+	// suffix). Generated "pkg.test" mains are skipped.
+	Tests bool
+
+	// Units, when non-nil, is a pre-computed `go list -json=ListFields`
+	// stream (with -export -deps, and -test if Tests is set) to use instead
+	// of running go list. CI uses this to run the expensive loader step
+	// once and share it between the direct and vettool lint drivers.
+	Units io.Reader
+}
+
+// DecodeUnits decodes a `go list -json` stream as produced with ListFields.
+func DecodeUnits(r io.Reader) ([]ListPackage, error) {
+	var pkgs []ListPackage
+	dec := json.NewDecoder(r)
+	for {
+		var p ListPackage
+		if derr := dec.Decode(&p); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("decoding go list units: %v", derr)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadConfig type-checks the packages matching patterns according to cfg.
+func LoadConfig(cfg Config, patterns ...string) ([]*Package, error) {
+	var listed []ListPackage
+	var err error
+	if cfg.Units != nil {
+		listed, err = DecodeUnits(cfg.Units)
+	} else {
+		dir := cfg.Dir
+		if dir == "" {
+			dir = "."
+		}
+		args := []string{"-e=false", "-export", "-deps"}
+		if cfg.Tests {
+			args = append(args, "-test")
+		}
+		args = append(args, "-json="+ListFields, "--")
+		args = append(args, patterns...)
+		listed, err = GoList(dir, args...)
+	}
 	if err != nil {
 		return nil, err
 	}
 	exports := map[string]string{}
+	superseded := map[string]bool{} // plain paths replaced by a test variant
 	var targets []ListPackage
 	for _, p := range listed {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard && p.Name != "" {
-			targets = append(targets, p)
+		if p.DepOnly || p.Standard || p.Name == "" {
+			continue
 		}
+		if strings.HasSuffix(p.ImportPath, ".test") && p.Name == "main" {
+			continue // generated test binary main
+		}
+		if p.ForTest != "" {
+			p.ImportPath, _, _ = strings.Cut(p.ImportPath, " [")
+			if p.ImportPath == p.ForTest {
+				superseded[p.ForTest] = true
+			}
+		}
+		targets = append(targets, p)
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
@@ -161,6 +229,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	var pkgs []*Package
 	for _, t := range targets {
 		if len(t.GoFiles) == 0 {
+			continue
+		}
+		if t.ForTest == "" && superseded[t.ImportPath] {
 			continue
 		}
 		var filenames []string

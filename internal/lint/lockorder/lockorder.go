@@ -1,0 +1,436 @@
+// Package lockorder enforces the two mutex contracts in the concurrent
+// serving/observability/persistence packages:
+//
+//  1. Release on every path — a sync.Mutex/RWMutex acquired in a function
+//     must be released (directly or by defer) on every path to that
+//     function's exit. A path that returns while holding a lock is a
+//     deadlock waiting for the next request.
+//
+//  2. Consistent acquisition order — the package-wide lock-acquisition
+//     graph (an edge A→B whenever B is acquired, directly or through a
+//     same-package call chain, while A is held) must stay acyclic. A cycle
+//     means two goroutines can acquire the participating locks in opposite
+//     orders and deadlock. Acquiring the same write lock again while it is
+//     definitely held is reported as a self-deadlock.
+//
+// The analysis is flow-sensitive (held-sets are solved over each
+// function's control-flow graph) and interprocedural within the package
+// (per-function acquisition summaries propagate through same-package
+// calls; cross-package calls are assumed lock-neutral, which matches the
+// repository's layering — lower layers never call back up). Locks are
+// identified by the declared field or variable, so two instances of the
+// same field (e.g. distinct cache shards) share an identity: a hierarchy
+// over same-field instances needs a //lint:lockorder annotation.
+//
+// Escape hatch: //lint:lockorder <why this order/hold is deadlock-free>.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"pegasus/internal/lint/analysis"
+	"pegasus/internal/lint/cfg"
+	"pegasus/internal/lint/dataflow"
+	"pegasus/internal/lint/lintutil"
+)
+
+// Scope lists the packages whose mutex discipline is enforced (each entry
+// also covers its subpackages). Tests may append fixture paths.
+var Scope = []string{
+	"pegasus/internal/server",
+	"pegasus/internal/obs",
+	"pegasus/internal/persist",
+}
+
+// Analyzer checks lock release on all paths and lock-order acyclicity.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flag mutexes held across an exit path and cyclic lock-acquisition order\n\n" +
+		"Every sync.Mutex/RWMutex Lock must be matched by an Unlock (or a\n" +
+		"defer) on every path out of the function, and the package's\n" +
+		"acquired-while-holding graph must stay acyclic. Annotate\n" +
+		"//lint:lockorder with a deadlock-freedom argument for deliberate\n" +
+		"exceptions.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PackageMatches(strings.TrimSuffix(pass.Pkg.Path(), "_test"), Scope) {
+		return nil, nil
+	}
+	a := &checker{
+		pass:    pass,
+		decls:   map[types.Object]*ast.FuncDecl{},
+		direct:  map[types.Object]map[types.Object]bool{},
+		calls:   map[types.Object]map[types.Object]bool{},
+		edges:   map[[2]types.Object][]token.Pos{},
+		keyName: map[types.Object]string{},
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					a.decls[obj] = fd
+				}
+			}
+		}
+	}
+	a.summarize()
+	// Deterministic function order: source position.
+	var fns []types.Object
+	for obj := range a.decls {
+		fns = append(fns, obj)
+	}
+	sort.Slice(fns, func(i, j int) bool { return a.decls[fns[i]].Pos() < a.decls[fns[j]].Pos() })
+	for _, obj := range fns {
+		fd := a.decls[obj]
+		a.checkFunc(fd.Body)
+		// Function literals get the same path discipline, independently.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				a.checkFunc(lit.Body)
+			}
+			return true
+		})
+	}
+	a.reportCycles()
+	return nil, nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[types.Object]*ast.FuncDecl
+	// direct[f] = lock keys f acquires in its own body (transitively closed
+	// by summarize); calls[f] = same-package functions f calls.
+	direct map[types.Object]map[types.Object]bool
+	calls  map[types.Object]map[types.Object]bool
+	// edges[a,b] = positions where b was acquired while a was held.
+	edges   map[[2]types.Object][]token.Pos
+	keyName map[types.Object]string
+}
+
+// lockEvent is one mutex operation found in a node, in evaluation order.
+type lockEvent struct {
+	key     types.Object
+	acquire bool // Lock/RLock vs Unlock/RUnlock
+	write   bool // Lock/Unlock (write side)
+	defered bool
+	pos     token.Pos
+	call    *ast.CallExpr
+}
+
+// scan extracts mutex operations and same-package calls from one CFG node
+// in order. Nested function literals are skipped (checked separately).
+func (a *checker) scan(n ast.Node, fn func(ev lockEvent), callFn func(callee types.Object, pos token.Pos)) {
+	defered := false
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		defered = true
+		n = ds.Call
+	}
+	cfg.WalkShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, acquire, write, ok := a.lockOp(call); ok {
+			fn(lockEvent{key: key, acquire: acquire, write: write, defered: defered, pos: call.Pos(), call: call})
+			return true
+		}
+		if callFn != nil {
+			if f := lintutil.CalleeFunc(a.pass, call); f != nil {
+				if _, local := a.decls[f]; local {
+					callFn(f, call.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies call as a mutex operation and resolves the lock key.
+func (a *checker) lockOp(call *ast.CallExpr) (key types.Object, acquire, write, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire, write = true, true
+	case "RLock":
+		acquire, write = true, false
+	case "Unlock":
+		acquire, write = false, true
+	case "RUnlock":
+		acquire, write = false, false
+	default:
+		return nil, false, false, false
+	}
+	f, isFn := a.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, false, false, false
+	}
+	key = a.lockKey(sel.X)
+	if key == nil {
+		return nil, false, false, false
+	}
+	if _, seen := a.keyName[key]; !seen {
+		a.keyName[key] = types.ExprString(sel.X)
+	}
+	return key, acquire, write, true
+}
+
+// lockKey resolves the mutex identity behind the receiver expression: the
+// declared field for s.mu (any path of selectors/indexes), the variable for
+// a plain mu.
+func (a *checker) lockKey(e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return a.pass.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return a.pass.ObjectOf(x.Sel)
+	case *ast.IndexExpr:
+		return a.lockKey(x.X)
+	case *ast.StarExpr:
+		return a.lockKey(x.X)
+	}
+	return nil
+}
+
+// summarize computes, for every package function, the set of locks it may
+// acquire transitively through same-package calls.
+func (a *checker) summarize() {
+	for obj, fd := range a.decls {
+		acq := map[types.Object]bool{}
+		calls := map[types.Object]bool{}
+		// Literals run on the spawning function's behalf often enough
+		// (immediately-invoked, par callbacks) that their acquisitions
+		// count toward the summary conservatively.
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, acquire, _, ok := a.lockOp(call); ok && acquire {
+				acq[key] = true
+			} else if f := lintutil.CalleeFunc(a.pass, call); f != nil {
+				if _, local := a.decls[f]; local {
+					calls[f] = true
+				}
+			}
+			return true
+		})
+		a.direct[obj] = acq
+		a.calls[obj] = calls
+	}
+	// Transitive closure to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for obj := range a.direct {
+			for callee := range a.calls[obj] {
+				for k := range a.direct[callee] {
+					if !a.direct[obj][k] {
+						a.direct[obj][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lattice values for one lock: 0 = free, 1 = may be held, 2 = must be held.
+const (
+	lockFree = 0
+	mayHold  = 1
+	mustHold = 2
+)
+
+// transfer applies a block's lock events to a held-state.
+func (a *checker) transfer(b *cfg.Block, in dataflow.Facts) dataflow.Facts {
+	out := in.Clone()
+	for _, n := range b.Nodes {
+		a.scan(n, func(ev lockEvent) {
+			if ev.defered {
+				return // deferred releases apply at exit, not here
+			}
+			if ev.acquire {
+				out[ev.key] = mustHold
+			} else {
+				delete(out, ev.key)
+			}
+		}, nil)
+	}
+	return out
+}
+
+func (a *checker) checkFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	prob := dataflow.Problem[dataflow.Facts]{
+		Dir:      dataflow.Forward,
+		Boundary: dataflow.Facts{},
+		Init:     func() dataflow.Facts { return dataflow.Facts{} },
+		Transfer: a.transfer,
+		// Pointwise: held on every path → mustHold, some path → mayHold.
+		Join: func(x, y dataflow.Facts) dataflow.Facts {
+			out := dataflow.Facts{}
+			for k, v := range x {
+				if w, ok := y[k]; ok {
+					m := v
+					if w < m {
+						m = w
+					}
+					out[k] = m
+				} else {
+					out[k] = mayHold
+				}
+			}
+			for k := range y {
+				if _, ok := x[k]; !ok {
+					out[k] = mayHold
+				}
+			}
+			return out
+		},
+		Equal: dataflow.FactsEqual,
+	}
+	res := dataflow.Solve(g, prob)
+
+	// Deferred releases cover every exit below their registration; treating
+	// them function-wide is conservative in the right direction for the
+	// exit check (a conditional defer that doesn't run still trips the
+	// cycle check elsewhere).
+	deferRelease := map[types.Object]bool{}
+	for _, d := range g.Defers {
+		a.scan(d, func(ev lockEvent) {
+			if !ev.acquire {
+				deferRelease[ev.key] = true
+			}
+		}, nil)
+	}
+
+	// Reporting pass: walk each block once with its solved in-state.
+	acquirePos := map[types.Object]token.Pos{}
+	for _, b := range g.Blocks {
+		held := res.In[b].Clone()
+		for _, n := range b.Nodes {
+			a.scan(n, func(ev lockEvent) {
+				if ev.defered {
+					return
+				}
+				if ev.acquire {
+					if held[ev.key] == mustHold && ev.write {
+						a.pass.Reportf(ev.pos,
+							"%s.Lock() while %s is already held on every path here — self-deadlock; unlock first or annotate //lint:lockorder",
+							a.keyName[ev.key], a.keyName[ev.key])
+					}
+					for other, v := range held {
+						if other != ev.key && v >= mayHold {
+							a.edge(other, ev.key, ev.pos)
+						}
+					}
+					held[ev.key] = mustHold
+					if _, ok := acquirePos[ev.key]; !ok {
+						acquirePos[ev.key] = ev.pos
+					}
+				} else {
+					delete(held, ev.key)
+				}
+			}, func(callee types.Object, pos token.Pos) {
+				for other, v := range held {
+					if v < mayHold {
+						continue
+					}
+					for k := range a.direct[callee] {
+						if k == other {
+							a.pass.Reportf(pos,
+								"call to %s acquires %s, which is already held here — self-deadlock through the call chain; restructure or annotate //lint:lockorder",
+								callee.Name(), a.keyName[other])
+						} else {
+							a.edge(other, k, pos)
+						}
+					}
+				}
+			})
+		}
+	}
+
+	// Exit check: anything that may still be held and has no deferred
+	// release is a leak on some path.
+	var leaked []types.Object
+	for k, v := range res.In[g.Exit] {
+		if v >= mayHold && !deferRelease[k] {
+			leaked = append(leaked, k)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool { return acquirePos[leaked[i]] < acquirePos[leaked[j]] })
+	for _, k := range leaked {
+		pos := acquirePos[k]
+		if pos == token.NoPos {
+			pos = body.Pos()
+		}
+		a.pass.Reportf(pos,
+			"%s is not released on every path out of this function; unlock on all exits or use defer (or annotate //lint:lockorder)",
+			a.keyName[k])
+	}
+}
+
+func (a *checker) edge(from, to types.Object, pos token.Pos) {
+	a.edges[[2]types.Object{from, to}] = append(a.edges[[2]types.Object{from, to}], pos)
+}
+
+// reportCycles finds acquisition-order cycles and reports the first
+// position of each participating edge.
+func (a *checker) reportCycles() {
+	// Deterministic adjacency from the recorded edges.
+	type edge struct {
+		from, to types.Object
+		pos      token.Pos
+	}
+	var all []edge
+	adj := map[types.Object][]types.Object{}
+	for pair, poss := range a.edges {
+		minPos := poss[0]
+		for _, p := range poss {
+			if p < minPos {
+				minPos = p
+			}
+		}
+		all = append(all, edge{pair[0], pair[1], minPos})
+		adj[pair[0]] = append(adj[pair[0]], pair[1])
+	}
+	reaches := func(src, dst types.Object) bool {
+		seen := map[types.Object]bool{src: true}
+		stack := []types.Object{src}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == dst {
+				return true
+			}
+			for _, m := range adj[n] {
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		return false
+	}
+	var cyclic []edge
+	for _, e := range all {
+		if reaches(e.to, e.from) {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool { return cyclic[i].pos < cyclic[j].pos })
+	for _, e := range cyclic {
+		a.pass.Report(analysis.Diagnostic{Pos: e.pos, Message: fmt.Sprintf(
+			"lock order cycle: %s is acquired while %s is held, and the package also acquires %s while holding %s — two goroutines taking them in opposite orders deadlock; pick one global order or annotate //lint:lockorder",
+			a.keyName[e.to], a.keyName[e.from], a.keyName[e.from], a.keyName[e.to])})
+	}
+}

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pegasus/internal/lint/analysistest"
+	"pegasus/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	lockorder.Scope = append(lockorder.Scope, "lockorderheld")
+	defer func() { lockorder.Scope = lockorder.Scope[:len(lockorder.Scope)-1] }()
+	analysistest.Run(t, filepath.Join("..", "testdata"), lockorder.Analyzer, "lockorderheld")
+}

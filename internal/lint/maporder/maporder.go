@@ -14,6 +14,7 @@ package maporder
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"pegasus/internal/lint/analysis"
 	"pegasus/internal/lint/lintutil"
@@ -39,11 +40,16 @@ var Analyzer = &analysis.Analyzer{
 		"randomized iteration order; in " + "pegasus's fingerprinted build and\n" +
 		"codec paths that randomness becomes nondeterministic output. Sort\n" +
 		"the keys first, or annotate //lint:ordered with a justification.",
-	Run: run,
+	// Golden fingerprints and byte-equality expectations are computed in
+	// _test.go files too; an unordered range there makes the *expected*
+	// value flap, which is just as nondeterministic as flapping output.
+	IncludeTests: true,
+	Run:          run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if !lintutil.PackageMatches(pass.Pkg.Path(), Critical) {
+	// External test packages ("pkg_test") inherit pkg's criticality.
+	if !lintutil.PackageMatches(strings.TrimSuffix(pass.Pkg.Path(), "_test"), Critical) {
 		return nil, nil
 	}
 	for _, file := range pass.Files {

@@ -1,0 +1,299 @@
+// Package nilness tracks error-return dataflow in the persistence and
+// serving layers: when a call returns `(value, err)`, the value may not be
+// dereferenced until err has been read somewhere (an `if err != nil`, a
+// `return err`, a wrap — any use counts), and err itself may not be
+// overwritten before it is read. Both shapes are real bugs the type system
+// cannot catch: the first is a latent nil-pointer panic on the failure
+// path, the second silently drops an error.
+//
+// The analysis is flow-sensitive: each error variable carries an
+// "unread" fact solved over the function's control-flow graph with a
+// may-join (unread on any incoming path keeps it unread), so the usual
+// early-return idiom
+//
+//	f, err := open(p)
+//	if err != nil { return err }   // reads err on every path below
+//	f.Read(buf)                    // ok
+//
+// is clean, while reordering the read after the deref is flagged. Function
+// literals conservatively count as reading every captured error. Only
+// packages listed in Swept are analyzed.
+//
+// Escape hatch: //lint:nilness <why the value is valid despite the error>.
+package nilness
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pegasus/internal/lint/analysis"
+	"pegasus/internal/lint/cfg"
+	"pegasus/internal/lint/dataflow"
+	"pegasus/internal/lint/lintutil"
+)
+
+// Swept lists the packages under error-flow enforcement (each entry also
+// covers its subpackages). Tests may append fixture paths.
+var Swept = []string{
+	"pegasus/internal/persist",
+	"pegasus/internal/server",
+}
+
+// Analyzer flags derefs before the companion error is read, and errors
+// overwritten while unread.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: "flag results used before their error is checked, and errors overwritten unread\n\n" +
+		"After `v, err := f()`, v may not be dereferenced until err has been\n" +
+		"read on every path, and err may not be reassigned while unread.\n" +
+		"Annotate //lint:nilness where the value is documented valid on error.",
+	Run: run,
+}
+
+// Fact lattice per error object: 0 = read (or never assigned), unread = the
+// error holds a result that has not been looked at yet.
+const unread = 1
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PackageMatches(strings.TrimSuffix(pass.Pkg.Path(), "_test"), Swept) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checker carries the per-function maps shared between the transfer
+// function and the reporting pass.
+type checker struct {
+	pass *analysis.Pass
+	// companion[v] = err for every `v, err := call()` site; the deref check
+	// consults it. An error paired with multiple values keeps them all.
+	companion map[types.Object]types.Object
+	body      *ast.BlockStmt
+	report    bool
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass, companion: map[types.Object]types.Object{}, body: body}
+	// Pre-pass: collect companion pairs so the transfer function knows which
+	// objects to track before flow reaches the assignment.
+	cfg.WalkShallow(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			c.collectPairs(as)
+		}
+		return true
+	})
+	// Also walk statements nested in composite control flow: WalkShallow
+	// only skips FuncLit interiors, so the above already saw everything.
+	g := cfg.New(body)
+	res := dataflow.Solve(g, dataflow.Problem[dataflow.Facts]{
+		Dir:      dataflow.Forward,
+		Boundary: dataflow.Facts{},
+		Init:     func() dataflow.Facts { return dataflow.Facts{} },
+		Transfer: func(b *cfg.Block, in dataflow.Facts) dataflow.Facts {
+			out := in.Clone()
+			for _, n := range b.Nodes {
+				c.apply(n, out)
+			}
+			return out
+		},
+		Join:  dataflow.JoinMax,
+		Equal: dataflow.FactsEqual,
+	})
+	// Reporting pass: one deterministic walk per block with solved inputs.
+	c.report = true
+	for _, b := range g.Blocks {
+		st := res.In[b].Clone()
+		for _, n := range b.Nodes {
+			c.apply(n, st)
+		}
+	}
+}
+
+// collectPairs records value→error companions from `v, err := call()`.
+func (c *checker) collectPairs(as *ast.AssignStmt) {
+	// Multi-value form: N LHS, 1 RHS call.
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return
+	}
+	if _, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !ok {
+		return
+	}
+	var errObj types.Object
+	var vals []types.Object
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := c.pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if lintutil.IsErrorType(obj.Type()) {
+			errObj = obj
+		} else if derefable(obj.Type()) {
+			vals = append(vals, obj)
+		}
+	}
+	if errObj == nil {
+		return
+	}
+	for _, v := range vals {
+		c.companion[v] = errObj
+	}
+}
+
+// derefable reports whether using a value of type t can panic when the
+// value is its zero value: pointers, maps (writes), interfaces, functions,
+// and channels qualify; plain scalars, strings, and structs do not.
+func derefable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Interface, *types.Signature, *types.Chan, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// apply updates st with the effects of one CFG node, reporting (when
+// c.report is set) derefs of companions with an unread error and
+// overwrites of unread errors. Evaluation order: reads on the RHS happen
+// before LHS writes.
+func (c *checker) apply(n ast.Node, st dataflow.Facts) {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, rhs := range as.Rhs {
+			c.scanReads(rhs, st)
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				c.scanReads(lhs, st) // m[k] = x reads m and k
+				continue
+			}
+			obj := c.pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if lintutil.IsErrorType(obj.Type()) && c.isTracked(obj) {
+				if st.Get(obj) == unread && c.report {
+					c.pass.Reportf(id.Pos(),
+						"%s is overwritten before the previous error was read — the earlier failure is silently dropped; check or wrap it first (or annotate //lint:nilness)", id.Name)
+				}
+				if c.assignsError(as, id) {
+					st[obj] = unread
+				} else {
+					delete(st, obj)
+				}
+			}
+		}
+		return
+	}
+	c.scanReads(n, st)
+}
+
+// isTracked reports whether errObj is the companion of any value.
+func (c *checker) isTracked(errObj types.Object) bool {
+	for _, e := range c.companion {
+		if e == errObj {
+			return true
+		}
+	}
+	return false
+}
+
+// assignsError reports whether the assignment gives id a (possibly
+// non-nil) error: any call result counts; a literal nil clears instead.
+func (c *checker) assignsError(as *ast.AssignStmt, id *ast.Ident) bool {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		return true // multi-value call
+	}
+	for i, lhs := range as.Lhs {
+		if lhs == id && i < len(as.Rhs) {
+			if bid, ok := ast.Unparen(as.Rhs[i]).(*ast.Ident); ok && bid.Name == "nil" {
+				return false
+			}
+			return true
+		}
+	}
+	return true
+}
+
+// scanReads walks an expression/statement (shallow — FuncLits count as
+// reading every tracked error they could capture) marking error reads and
+// reporting unguarded derefs.
+func (c *checker) scanReads(n ast.Node, st dataflow.Facts) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// The literal may read or check any captured error at any time;
+			// be conservative in the quiet direction.
+			for o := range st {
+				delete(st, o)
+			}
+			return false
+		case *ast.SelectorExpr:
+			// Sel is a field/method name, not a variable read; recursion
+			// continues into X, so nested selectors are checked too.
+			c.checkDeref(m.X, st)
+		case *ast.IndexExpr:
+			c.checkDeref(m.X, st)
+		case *ast.StarExpr:
+			c.checkDeref(m.X, st)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+				if v := c.pass.TypesInfo.ObjectOf(id); v != nil {
+					if _, tracked := c.companion[v]; tracked {
+						c.checkDeref(m.Fun, st)
+					}
+				}
+			}
+		}
+		return c.markIdent(m, st)
+	})
+}
+
+// markIdent clears the unread fact when m is a use of a tracked error.
+func (c *checker) markIdent(m ast.Node, st dataflow.Facts) bool {
+	id, ok := m.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return true
+	}
+	if c.isTracked(obj) {
+		delete(st, obj) // any use counts as reading the error
+	}
+	return true
+}
+
+// checkDeref reports when e is a tracked companion whose error is unread.
+func (c *checker) checkDeref(e ast.Expr, st dataflow.Facts) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v := c.pass.TypesInfo.Uses[id]
+	if v == nil {
+		return
+	}
+	errObj, tracked := c.companion[v]
+	if tracked && st.Get(errObj) == unread && c.report {
+		c.pass.Reportf(id.Pos(),
+			"%s is used before %s is checked — on the failure path this dereferences a zero value; check the error first (or annotate //lint:nilness)", id.Name, errObj.Name())
+	}
+}

@@ -1,0 +1,15 @@
+package nilness_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pegasus/internal/lint/analysistest"
+	"pegasus/internal/lint/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	nilness.Swept = append(nilness.Swept, "nilnesserr")
+	defer func() { nilness.Swept = nilness.Swept[:len(nilness.Swept)-1] }()
+	analysistest.Run(t, filepath.Join("..", "testdata"), nilness.Analyzer, "nilnesserr")
+}

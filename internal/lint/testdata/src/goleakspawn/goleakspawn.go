@@ -1,0 +1,135 @@
+// Fixture for the goleak analyzer: goroutines here must be joined by a
+// WaitGroup, resolve an external channel on every path, or select on a
+// ctx.Done-derived channel.
+package goleakspawn
+
+import (
+	"context"
+	"sync"
+)
+
+func work()        {}
+func compute() int { return 1 }
+func cond() bool   { return false }
+
+// ---- flagged shapes ----
+
+func detached() {
+	go func() { // want `goroutine is not joined on every path`
+		work()
+	}()
+}
+
+func joinOnOnePathOnly(ch chan int) {
+	go func() { // want `goroutine is not joined on every path`
+		if cond() {
+			ch <- compute()
+		}
+	}()
+}
+
+func internalChannelJoinsNobody() {
+	go func() { // want `goroutine is not joined on every path`
+		ch := make(chan int, 1)
+		ch <- compute()
+	}()
+}
+
+func foreverWithoutCancel() {
+	go func() { // want `goroutine loops forever with no ctx\.Done-derived cancellation`
+		for {
+			work()
+		}
+	}()
+}
+
+func opaqueSpawn(f func()) {
+	go f() // want `body this package cannot see`
+}
+
+// ---- accounted shapes ----
+
+func waitGroupJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func namedWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+func spawnsNamed() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go namedWorker(&wg)
+	wg.Wait()
+}
+
+func resultChannel() chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	return ch
+}
+
+func sendOnAllPaths(ch chan int) {
+	go func() {
+		if cond() {
+			ch <- 1
+			return
+		}
+		ch <- 2
+	}()
+}
+
+func closesExternal(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+type looper struct{ ctx context.Context }
+
+func (l *looper) run() {
+	for {
+		select {
+		case <-l.ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func spawnsMethod(l *looper) {
+	go l.run()
+}
+
+func ctxDoneViaVariable(ctx context.Context) {
+	go func() {
+		done := ctx.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func suppressed() {
+	//lint:goleak fixture exercises the escape hatch; process-lifetime helper
+	go func() {
+		work()
+	}()
+}

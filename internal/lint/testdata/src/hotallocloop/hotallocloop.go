@@ -1,0 +1,90 @@
+// Fixture for the hotalloc analyzer: loop bodies of functions marked
+// //pegasus:hotpath must not allocate per iteration.
+package hotallocloop
+
+import "fmt"
+
+func sink(v any)    {}
+func take(f func()) {}
+
+// hot is the enforced shape: every allocation inside its loops is flagged.
+//
+//pegasus:hotpath
+func hot(xs []int, out []float64) float64 {
+	acc := 0.0
+	for i, x := range xs {
+		buf := make([]int, 4) // want `make inside a hotpath loop allocates per iteration`
+		_ = buf
+		m := map[int]int{x: i} // want `map literal inside a hotpath loop allocates per iteration`
+		_ = m
+		s := []int{x} // want `slice literal inside a hotpath loop allocates per iteration`
+		_ = s
+		p := &point{x: x} // want `&composite literal inside a hotpath loop heap-allocates per iteration`
+		_ = p
+		msg := fmt.Sprint(i) // want `fmt\.Sprint inside a hotpath loop allocates for formatting`
+		_ = msg
+		f := func() { acc++ } // want `function literal inside a hotpath loop allocates a closure per iteration`
+		take(f)
+		sink(x) // want `passing int to an interface parameter inside a hotpath loop boxes it`
+		acc += out[i]
+	}
+	return acc
+}
+
+type point struct{ x int }
+
+// nested loops: each body is checked against its innermost loop.
+//
+//pegasus:hotpath
+func nested(grid [][]float64) float64 {
+	acc := 0.0
+	for i := range grid {
+		for j := range grid[i] {
+			w := []float64{acc} // want `slice literal inside a hotpath loop allocates per iteration`
+			_ = w
+			acc += grid[i][j]
+		}
+		acc *= 0.5
+	}
+	return acc
+}
+
+// ---- clean shapes ----
+
+// clean is marked but allocation-free: arithmetic, index reads, hoisted
+// closure mutated via captured variables, amortized setup outside loops.
+//
+//pegasus:hotpath
+func clean(xs []int, out []float64) float64 {
+	scratch := make([]float64, len(xs)) // setup: outside any loop
+	var share float64
+	add := func(i int) { scratch[i] += share }
+	acc := 0.0
+	for i, x := range xs {
+		share = float64(x) * 0.5
+		add(i)
+		acc += out[i] + scratch[i]
+		v := point{x: x} // struct value: stack-allocated, not flagged
+		acc += float64(v.x)
+	}
+	return acc
+}
+
+// unmarked allocates freely: the analyzer is opt-in per function.
+func unmarked(xs []int) []string {
+	var all []string
+	for _, x := range xs {
+		all = append(all, fmt.Sprint(x))
+	}
+	return all
+}
+
+//pegasus:hotpath
+func suppressed(xs []int) int {
+	n := 0
+	for range xs {
+		b := make([]byte, 1) //lint:hotalloc fixture exercises the escape hatch; amortized by pooling
+		n += len(b)
+	}
+	return n
+}

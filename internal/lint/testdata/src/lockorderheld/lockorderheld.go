@@ -1,0 +1,127 @@
+// Fixture for the lockorder analyzer: the test appends "lockorderheld" to
+// lockorder.Scope, so mutexes here must be released on every exit path and
+// acquired in one global order.
+package lockorderheld
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func cond() bool { return false }
+
+// ---- flagged shapes ----
+
+func (s *S) leakOnEarlyReturn() {
+	s.mu.Lock() // want `s\.mu is not released on every path out of this function`
+	if cond() {
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) relockThroughCall() {
+	s.mu.Lock()
+	s.bump() // want `self-deadlock through the call chain`
+	s.mu.Unlock()
+}
+
+func (s *S) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+type Pair struct{ a, b sync.Mutex }
+
+func (p *Pair) abOrder() {
+	p.a.Lock()
+	p.b.Lock() // want `lock order cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) baOrder() {
+	p.b.Lock()
+	p.a.Lock() // want `lock order cycle`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// ---- clean shapes ----
+
+func (s *S) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *S) readLocked() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func (s *S) unlockOnAllPaths() int {
+	s.mu.Lock()
+	if cond() {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+// retryLoop mirrors the cache's GetOrCompute shape: drop the lock to do
+// slow work, re-acquire, and loop. Flow analysis must see the lock is free
+// at the re-acquire and held exactly once at each exit.
+func (s *S) retryLoop() int {
+	s.mu.Lock()
+	for i := 0; i < 3; i++ {
+		if cond() {
+			s.mu.Unlock()
+			slow()
+			s.mu.Lock()
+			continue
+		}
+		break
+	}
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+func slow() {}
+
+type Ordered struct{ a, b sync.Mutex }
+
+// Consistent a-then-b order in every function: acyclic, no findings.
+func (o *Ordered) one() {
+	o.a.Lock()
+	o.b.Lock()
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+func (o *Ordered) two() {
+	o.a.Lock()
+	defer o.a.Unlock()
+	o.b.Lock()
+	defer o.b.Unlock()
+}
+
+func (s *S) suppressedHandoff() {
+	//lint:lockorder fixture exercises the escape hatch; callee releases
+	s.mu.Lock()
+}

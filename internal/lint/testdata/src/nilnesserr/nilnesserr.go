@@ -1,0 +1,128 @@
+// Fixture for the nilness analyzer: the test appends "nilnesserr" to
+// nilness.Swept, so (value, err) results here may not be dereferenced
+// before err is read, and errors may not be overwritten unread.
+package nilnesserr
+
+import "errors"
+
+type R struct{ n int }
+
+func open(ok bool) (*R, error) {
+	if !ok {
+		return nil, errors.New("nope")
+	}
+	return &R{n: 1}, nil
+}
+
+func lookup(ok bool) (map[string]int, error) {
+	if !ok {
+		return nil, errors.New("nope")
+	}
+	return map[string]int{"a": 1}, nil
+}
+
+func use(r *R) error { return nil }
+
+// ---- flagged shapes ----
+
+func derefBeforeCheck(ok bool) int {
+	r, err := open(ok)
+	n := r.n // want `r is used before err is checked`
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func indexBeforeCheck(ok bool) int {
+	m, err := lookup(ok)
+	v := m["a"] // want `m is used before err is checked`
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func checkedOnOnePathOnly(ok, fast bool) int {
+	r, err := open(ok)
+	if fast {
+		return r.n // want `r is used before err is checked`
+	}
+	if err != nil {
+		return 0
+	}
+	return r.n
+}
+
+func overwriteUnread(ok bool) error {
+	r, err := open(ok)
+	_, err = open(!ok) // want `err is overwritten before the previous error was read`
+	if err != nil {
+		return err
+	}
+	return use(r)
+}
+
+// ---- clean shapes ----
+
+func earlyReturn(ok bool) int {
+	r, err := open(ok)
+	if err != nil {
+		return 0
+	}
+	return r.n
+}
+
+func invertedCheck(ok bool) int {
+	r, err := open(ok)
+	n := 0
+	if err == nil {
+		n = r.n
+	}
+	return n
+}
+
+func loopRetry(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		r, err := open(i%2 == 0)
+		if err != nil {
+			continue
+		}
+		s += r.n
+	}
+	return s
+}
+
+func wrapCountsAsRead(ok bool) (int, error) {
+	r, err := open(ok)
+	if err != nil {
+		return 0, errors.New("open: " + err.Error())
+	}
+	return r.n, nil
+}
+
+func passWithoutDeref(ok bool) error {
+	r, err := open(ok)
+	if err != nil {
+		return err
+	}
+	return use(r)
+}
+
+func reassignedAfterRead(ok bool) error {
+	r, err := open(ok)
+	if err != nil {
+		return err
+	}
+	_ = r
+	_, err = open(!ok) // fine: the first err was read above
+	return err
+}
+
+func suppressedPartialResult(ok bool) int {
+	r, err := open(ok)
+	n := r.n //lint:nilness fixture exercises the escape hatch; open documents a non-nil result on error
+	_ = err
+	return n
+}

@@ -163,6 +163,8 @@ const (
 // superneighbor lists, then — for weighted summaries only — the weight of
 // each upper-triangle superedge in list order. Member and neighbor lists
 // are delta+varint coded; all-1 weights are elided entirely.
+//
+//pegasus:hotpath codec inner loops: one iteration per supernode on every artifact write
 func encodeSummary(w io.Writer, s *summary.Summary) error {
 	bw := bitio.NewWriter(w)
 	n, ns := s.NumNodes(), s.NumSupernodes()
@@ -178,16 +180,18 @@ func encodeSummary(w io.Writer, s *summary.Summary) error {
 	}
 	var upper []uint32
 	var weights []float64
-	for a := 0; a < ns; a++ {
-		upper = upper[:0]
-		s.ForEachSuperNeighbor(uint32(a), func(b uint32, wt float64) {
-			if b >= uint32(a) {
-				upper = append(upper, b)
-				if s.Weighted() {
-					weights = append(weights, wt)
-				}
+	var cur uint32
+	collect := func(b uint32, wt float64) {
+		if b >= cur {
+			upper = append(upper, b)
+			if s.Weighted() {
+				weights = append(weights, wt)
 			}
-		})
+		}
+	}
+	for cur = 0; cur < uint32(ns); cur++ {
+		upper = upper[:0]
+		s.ForEachSuperNeighbor(cur, collect)
 		bw.PutDeltas(upper)
 	}
 	for _, wt := range weights {
@@ -309,6 +313,8 @@ func decodeSummary(r *bitio.Reader, payloadLen int) (*summary.Summary, error) {
 
 // encodeSubgraph writes the subgraph payload: |V| then each node's sorted
 // adjacency restricted to the upper triangle (v > u), delta+varint coded.
+//
+//pegasus:hotpath codec inner loops: one iteration per node on every artifact write
 func encodeSubgraph(w io.Writer, g *graph.Graph) error {
 	bw := bitio.NewWriter(w)
 	n := g.NumNodes()

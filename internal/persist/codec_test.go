@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"maps"
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"pegasus/internal/graph"
@@ -122,7 +124,9 @@ func caseSubgraphs(t testing.TB) map[string]*graph.Graph {
 // valid, and its legacy Write serialization — the byte-identity yardstick
 // the incremental-rebuild tests use — matches the original's exactly.
 func TestSummaryRoundTrip(t *testing.T) {
-	for name, s := range caseSummaries(t) {
+	cases := caseSummaries(t)
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
+		s := cases[name]
 		t.Run(name, func(t *testing.T) {
 			enc, err := EncodeBytes(Artifact{Summary: s})
 			if err != nil {
@@ -161,7 +165,9 @@ func TestSummaryRoundTrip(t *testing.T) {
 
 // TestSubgraphRoundTrip is the same property for subgraph-machine artifacts.
 func TestSubgraphRoundTrip(t *testing.T) {
-	for name, g := range caseSubgraphs(t) {
+	cases := caseSubgraphs(t)
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
+		g := cases[name]
 		t.Run(name, func(t *testing.T) {
 			enc, err := EncodeBytes(Artifact{Subgraph: g})
 			if err != nil {

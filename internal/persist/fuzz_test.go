@@ -3,6 +3,8 @@ package persist
 import (
 	"bytes"
 	"errors"
+	"maps"
+	"slices"
 	"testing"
 )
 
@@ -20,15 +22,17 @@ import (
 // target is useful even with a stripped corpus. CI runs a -fuzztime 10s
 // smoke pass on every push.
 func FuzzDecode(f *testing.F) {
-	for name, s := range caseSummaries(f) {
-		enc, err := EncodeBytes(Artifact{Summary: s})
+	summaries := caseSummaries(f)
+	for _, name := range slices.Sorted(maps.Keys(summaries)) {
+		enc, err := EncodeBytes(Artifact{Summary: summaries[name]})
 		if err != nil {
 			f.Fatalf("seed %s: %v", name, err)
 		}
 		f.Add(enc)
 	}
-	for name, g := range caseSubgraphs(f) {
-		enc, err := EncodeBytes(Artifact{Subgraph: g})
+	subgraphs := caseSubgraphs(f)
+	for _, name := range slices.Sorted(maps.Keys(subgraphs)) {
+		enc, err := EncodeBytes(Artifact{Subgraph: subgraphs[name]})
 		if err != nil {
 			f.Fatalf("seed %s: %v", name, err)
 		}

@@ -108,6 +108,13 @@ func (s *oracleSession) init() {
 	s.v2 = make([]float64, n)
 }
 
+// RWR answers random walk with restart over the generic oracle. The
+// neighbor callback is hoisted out of the iteration loops: allocating a
+// closure per node per iteration was measurable GC pressure at batch-query
+// rates (it captures share/next by reference, so the vector swap below
+// still works).
+//
+//pegasus:hotpath
 func (s *oracleSession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) {
 	cfg = cfg.withDefaults()
 	n := s.o.NumNodes()
@@ -125,6 +132,10 @@ func (s *oracleSession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) {
 	// checks exactly as it did when these were freshly made slices.
 	wdeg := s.wdeg[:n]
 	r, next := s.v1[:n], s.v2[:n]
+	var share float64
+	spread := func(v graph.NodeID, w float64) {
+		next[v] += share * w
+	}
 	for i := range r {
 		r[i] = 1 / float64(n)
 	}
@@ -145,10 +156,8 @@ func (s *oracleSession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) {
 				dead += r[u]
 				continue
 			}
-			share := r[u] / wdeg[u]
-			s.o.ForEachNeighbor(graph.NodeID(u), func(v graph.NodeID, w float64) {
-				next[v] += share * w
-			})
+			share = r[u] / wdeg[u]
+			s.o.ForEachNeighbor(graph.NodeID(u), spread)
 		}
 		delta := 0.0
 		for i := range next {
@@ -172,6 +181,11 @@ func (s *oracleSession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) {
 	return out, nil
 }
 
+// PHP answers penalized hitting probability over the generic oracle; the
+// accumulator closure is hoisted for the same reason as in RWR (it reads p
+// through the captured variable, which tracks the vector swap).
+//
+//pegasus:hotpath
 func (s *oracleSession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) {
 	cfg = cfg.withDefaults()
 	n := s.o.NumNodes()
@@ -185,6 +199,10 @@ func (s *oracleSession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) {
 	// Hot-loop locals re-sliced to n for bounds-check elimination.
 	wdeg := s.wdeg[:n]
 	p, next := s.v1[:n], s.v2[:n]
+	var sum float64
+	accum := func(v graph.NodeID, w float64) {
+		sum += w * p[v]
+	}
 	for i := range p {
 		p[i] = 0
 	}
@@ -204,10 +222,8 @@ func (s *oracleSession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) {
 				next[u] = 0
 				continue
 			}
-			sum := 0.0
-			s.o.ForEachNeighbor(graph.NodeID(u), func(v graph.NodeID, w float64) {
-				sum += w * p[v]
-			})
+			sum = 0
+			s.o.ForEachNeighbor(graph.NodeID(u), accum)
 			next[u] = cfg.C * sum / wdeg[u]
 			if d := next[u] - p[u]; d > delta {
 				delta = d
@@ -266,6 +282,12 @@ func (ss *summarySession) init() {
 	ss.s2 = make([]float64, ns)
 }
 
+// RWR is the block-accelerated random walk with restart. The
+// super-neighbor callback is hoisted out of the iteration loops (it reads
+// the current supernode through the captured index variable), so the inner
+// loops run allocation-free.
+//
+//pegasus:hotpath
 func (ss *summarySession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) {
 	cfg = cfg.withDefaults()
 	s := ss.s
@@ -285,6 +307,10 @@ func (ss *summarySession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) 
 	r, next := ss.v1[:n], ss.v2[:n]
 	mass := ss.s1[:ns]    // Σ_{u∈A} r[u]/wdeg[u]
 	superIn := ss.s2[:ns] // Σ_{B adj A} w_AB · mass_B
+	var cur int
+	inflow := func(b uint32, w float64) {
+		superIn[cur] += w * mass[b]
+	}
 	for i := range r {
 		r[i] = 1 / float64(n)
 	}
@@ -307,10 +333,8 @@ func (ss *summarySession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) 
 		for a := 0; a < ns; a++ {
 			superIn[a] = 0
 		}
-		for a := 0; a < ns; a++ {
-			s.ForEachSuperNeighbor(uint32(a), func(b uint32, w float64) {
-				superIn[a] += w * mass[b]
-			})
+		for cur = 0; cur < ns; cur++ {
+			s.ForEachSuperNeighbor(uint32(cur), inflow)
 		}
 		delta := 0.0
 		for u := 0; u < n; u++ {
@@ -339,6 +363,10 @@ func (ss *summarySession) RWR(q graph.NodeID, cfg RWRConfig) ([]float64, error) 
 	return out, nil
 }
 
+// PHP is the block-accelerated penalized hitting probability; the
+// super-neighbor callback is hoisted exactly as in RWR.
+//
+//pegasus:hotpath
 func (ss *summarySession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) {
 	cfg = cfg.withDefaults()
 	s := ss.s
@@ -357,6 +385,10 @@ func (ss *summarySession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) 
 	p, next := ss.v1[:n], ss.v2[:n]
 	sumPHP := ss.s1[:ns]  // Σ_{v∈A} p[v]
 	superIn := ss.s2[:ns] // Σ_{B adj A} w_AB · sumPHP_B
+	var cur int
+	inflow := func(b uint32, w float64) {
+		superIn[cur] += w * sumPHP[b]
+	}
 	for i := range p {
 		p[i] = 0
 	}
@@ -372,11 +404,9 @@ func (ss *summarySession) PHP(q graph.NodeID, cfg PHPConfig) ([]float64, error) 
 		for u := 0; u < n; u++ {
 			sumPHP[s.Supernode(graph.NodeID(u))] += p[u]
 		}
-		for a := 0; a < ns; a++ {
-			superIn[a] = 0
-			s.ForEachSuperNeighbor(uint32(a), func(b uint32, w float64) {
-				superIn[a] += w * sumPHP[b]
-			})
+		for cur = 0; cur < ns; cur++ {
+			superIn[cur] = 0
+			s.ForEachSuperNeighbor(uint32(cur), inflow)
 		}
 		delta := 0.0
 		for u := 0; u < n; u++ {

@@ -89,6 +89,8 @@ func (c *Cache) shard(key string) *cacheShard {
 // A waiter whose own context is still live when the in-flight leader aborts
 // on a context error retries with its own budget rather than inheriting the
 // leader's cancellation. Erroring computations are never stored.
+//
+//pegasus:hotpath cache lookup: the hit arm of the retry loop runs once per query
 func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func() (any, error)) (any, CacheStatus, error) {
 	sh := c.shard(key)
 	for {
@@ -111,10 +113,12 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func() (any, er
 				return nil, CacheShared, ctx.Err()
 			}
 		}
+		//lint:hotalloc miss path: one flight per computed key, amortized by fn's cost
 		f := &flight{done: make(chan struct{})}
 		sh.flights[key] = f
 		sh.mu.Unlock()
 
+		//lint:hotalloc miss path: the recover wrapper closes over f once per compute, not per lookup
 		func() {
 			// A panicking computation must still resolve the flight, or the
 			// key would block every future lookup forever; surface it as an
@@ -130,6 +134,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func() (any, er
 		sh.mu.Lock()
 		delete(sh.flights, key)
 		if f.err == nil && sh.cap > 0 {
+			//lint:hotalloc miss path: one stored entry per computed key
 			sh.items[key] = sh.ll.PushFront(&cacheEntry{key: key, val: f.val})
 			for sh.ll.Len() > sh.cap {
 				oldest := sh.ll.Back()

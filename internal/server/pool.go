@@ -20,6 +20,8 @@ func NewPool(size int) *Pool {
 
 // Run executes fn once a worker slot is free, or returns ctx's error if the
 // context is cancelled while waiting.
+//
+//pegasus:hotpath pooled compute: every query computation funnels through here
 func (p *Pool) Run(ctx context.Context, fn func() error) error {
 	select {
 	case p.sem <- struct{}{}:
