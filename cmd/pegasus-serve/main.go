@@ -9,6 +9,7 @@
 // Usage:
 //
 //	pegasus-serve -graph g.txt -addr :8080
+//	pegasus-serve -ingest web-Stanford.txt.gz -shards 4           # real SNAP graph
 //	pegasus-serve -gen-nodes 5000 -shards 4 -partition louvain -budget 0.3
 //	pegasus-serve -graph g.txt -shards 4 -cache-dir /var/cache/pegasus   # warm restarts
 //
@@ -39,6 +40,8 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		gPath    = flag.String("graph", "", "edge list to serve; empty generates an SBM graph")
+		ingPath  = flag.String("ingest", "", "real-graph edge list to serve through the parallel SNAP ingester (plain or .gz; comments, duplicate edges, self-loops and sparse node IDs handled; overrides -graph)")
+		ingWkrs  = flag.Int("ingest-workers", 0, "ingestion goroutines (0 = GOMAXPROCS; the ingested graph is identical for any value)")
 		nodes    = flag.Int("gen-nodes", 2000, "generated graph: node count")
 		comms    = flag.Int("gen-communities", 8, "generated graph: community count")
 		deg      = flag.Float64("gen-degree", 12, "generated graph: average degree")
@@ -65,13 +68,23 @@ func main() {
 		g   *pegasus.Graph
 		err error
 	)
-	if *gPath != "" {
+	switch {
+	case *ingPath != "":
+		res, ierr := pegasus.IngestEdgeListFile(*ingPath, pegasus.IngestOptions{Workers: *ingWkrs})
+		if ierr != nil {
+			fatal("ingest graph: %v", ierr)
+		}
+		g = res.Graph
+		st := res.Stats
+		fmt.Printf("ingested %s: %d nodes, %d edges (dropped %d self-loops, %d duplicates; remapped=%v, gzip=%v)\n",
+			*ingPath, st.Nodes, st.Edges, st.SelfLoops, st.Duplicates, st.Remapped, st.Gzip)
+	case *gPath != "":
 		g, err = pegasus.LoadGraph(*gPath)
 		if err != nil {
 			fatal("load graph: %v", err)
 		}
 		fmt.Printf("loaded %s: %d nodes, %d edges\n", *gPath, g.NumNodes(), g.NumEdges())
-	} else {
+	default:
 		g = pegasus.GenerateSBM(*nodes, *comms, *deg, *mixing, *seed)
 		fmt.Printf("generated SBM graph: %d nodes, %d edges, %d communities\n",
 			g.NumNodes(), g.NumEdges(), *comms)

@@ -46,6 +46,28 @@
 // (Omit -graph to serve a generated SBM graph.) Programmatic use goes
 // through Serve / NewServer with a ServerConfig.
 //
+// # Ingesting real graphs
+//
+// Real-world edge lists (SNAP-style: whitespace-separated "u v" lines,
+// '#' comments, optionally gzip-compressed, with duplicate edges,
+// self-loops and sparse 64-bit node IDs) are loaded through the streaming
+// parallel ingester, which cleans the edge set, remaps IDs onto the dense
+// [0, n) space and assembles the CSR directly — bit-identical for every
+// worker count:
+//
+//	res, _ := pegasus.IngestEdgeListFile("web-Stanford.txt.gz", pegasus.IngestOptions{})
+//	g, raw := res.Graph, res.IDs            // raw[dense] = original 64-bit ID
+//	fmt.Println(res.Stats.Duplicates)       // what the cleaner dropped
+//
+// Failures are typed (ErrIngestFormat, ErrIngestLimit — never a panic;
+// fuzzed in internal/ingest), and WriteSNAP is the inverse. On the command
+// line, pegasus-ingest preprocesses offline and pegasus-serve -ingest
+// serves an edge list directly:
+//
+//	go run ./cmd/pegasus-ingest -in web-Stanford.txt.gz -verify -stats
+//	go run ./cmd/pegasus-serve  -ingest web-Stanford.txt.gz -shards 4
+//	go run ./cmd/pegasus-gen    -model ba -n 100000 -m 8 -format snap -out g.txt.gz
+//
 // # Batch queries
 //
 // Serving workloads are multi-query (§IV/§V: one summary answers many

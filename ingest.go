@@ -1,0 +1,61 @@
+package pegasus
+
+import (
+	"io"
+
+	"pegasus/internal/distributed"
+	"pegasus/internal/ingest"
+)
+
+// Ingestion — streaming SNAP edge-list loading at real-graph scale ----------
+//
+// IngestEdgeList* parse the SNAP interchange format (whitespace/tab-separated
+// "u v" lines, '#'/'%' comments, optional gzip) in parallel and assemble a
+// CSR graph: self-loops and duplicate edges are eliminated and arbitrary
+// 64-bit node IDs are remapped onto the dense [0, n) space, ascending by raw
+// ID. The result is bit-identical for every worker count. Unlike LoadGraph
+// (which keeps raw IDs and allocates max-ID+1 nodes), the ingester never
+// materializes holes: web-Stanford-style sparse ID spaces cost O(edges), not
+// O(max ID).
+
+// IngestOptions configures an ingestion run (worker count, size cap).
+type IngestOptions = ingest.Options
+
+// IngestStats reports what an ingestion run saw and dropped.
+type IngestStats = ingest.Stats
+
+// IngestResult is an ingested graph plus its dense-ID↔raw-ID mapping and
+// stats.
+type IngestResult = ingest.Result
+
+// ErrIngestFormat is wrapped by every malformed-input ingestion failure.
+var ErrIngestFormat = ingest.ErrFormat
+
+// ErrIngestLimit is wrapped when an ingested input exceeds a size or
+// representational limit.
+var ErrIngestLimit = ingest.ErrLimit
+
+// IngestEdgeListFile ingests an edge-list file (gzip detected from content).
+func IngestEdgeListFile(path string, opt IngestOptions) (*IngestResult, error) {
+	return ingest.ParseFile(path, opt)
+}
+
+// IngestEdgeList ingests an edge list from r (plain or gzip).
+func IngestEdgeList(r io.Reader, opt IngestOptions) (*IngestResult, error) {
+	return ingest.Parse(r, opt)
+}
+
+// IngestEdgeListBytes ingests an in-memory edge list (plain or gzip).
+func IngestEdgeListBytes(data []byte, opt IngestOptions) (*IngestResult, error) {
+	return ingest.ParseBytes(data, opt)
+}
+
+// WriteSNAP writes g in the SNAP edge-list interchange format (tab-separated
+// "u v" lines under a comment header). Parse(WriteSNAP(g)) reproduces g
+// bit-identically.
+func WriteSNAP(w io.Writer, g *Graph) error { return ingest.WriteSNAP(w, g) }
+
+// GraphFingerprint returns the content fingerprint of a graph's full
+// structure (the shard-content-key "graph generation" token): equal
+// fingerprints mean structurally identical graphs. One O(|V|+|E|) scan.
+func GraphFingerprint(g *Graph) string { return distributed.GraphToken(g) }

@@ -106,9 +106,41 @@ func Real() []*Dataset {
 	return r[:6]
 }
 
-// ByShort finds a dataset by its two-letter code.
+// ScaleTier lists the deterministic large-scale synthetic fallbacks used by
+// the ingestion/scale harness (pegasus-bench's scale section and the tagged
+// scale smoke test). Offline CI cannot download the SNAP graphs the paper's
+// scalability experiment uses, so heavy-tailed Barabási–Albert graphs at
+// 10^5 and 10^6 nodes stand in. Deliberately not part of Registry(): the
+// Table II experiment sweeps must not pick these up.
+func ScaleTier() []*Dataset {
+	return []*Dataset{
+		{
+			Name: "Scale-100K", Short: "S5", Kind: "BA 10^5",
+			// BA graphs are connected by construction, so the LCC pass —
+			// which would add an O(|V|+|E|) scratch BFS and a full graph
+			// copy at this tier — is skipped.
+			Generate: func(s float64) *graph.Graph {
+				return gen.BarabasiAlbert(scaled(100_000, s), 8, 501)
+			},
+		},
+		{
+			Name: "Scale-1M", Short: "S6", Kind: "BA 10^6",
+			Generate: func(s float64) *graph.Graph {
+				return gen.BarabasiAlbert(scaled(1_000_000, s), 8, 601)
+			},
+		},
+	}
+}
+
+// ByShort finds a dataset by its short code, searching the Table II registry
+// and then the scale tier.
 func ByShort(code string) (*Dataset, error) {
 	for _, d := range Registry() {
+		if d.Short == code {
+			return d, nil
+		}
+	}
+	for _, d := range ScaleTier() {
 		if d.Short == code {
 			return d, nil
 		}

@@ -32,7 +32,15 @@ func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
 
 	// repeated holds node IDs once per incident edge endpoint; sampling a
 	// uniform element of repeated samples nodes proportionally to degree.
-	repeated := make([]graph.NodeID, 0, 2*n*m)
+	// The capacity hint is computed in int64 and clamped: 2*n*m overflows
+	// 32-bit ints at the 10^6-node scale tier, and a near-complete graph
+	// (m ≈ n) must not reserve O(n²) up front — append growth covers the
+	// tail either way.
+	hint := 2 * int64(n) * int64(m)
+	if hint > 1<<28 {
+		hint = 1 << 28
+	}
+	repeated := make([]graph.NodeID, 0, int(hint))
 
 	// Seed clique over the first m+1 nodes keeps the graph connected.
 	for u := 0; u <= m && u < n; u++ {
@@ -185,9 +193,11 @@ func PlantedPartition(cfg SBMConfig, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
 	n := cfg.Nodes
 	c := cfg.Communities
-	commOf := func(u int) int { return u * c / n }
-	commStart := func(i int) int { return (i*n + c - 1) / c }
-	commEnd := func(i int) int { return ((i+1)*n + c - 1) / c } // exclusive
+	// Community boundary arithmetic is done in int64: u*c and i*n reach
+	// 10^12 at the scale tier (n=10^6, c=10^6 worst case), past 32-bit int.
+	commOf := func(u int) int { return int(int64(u) * int64(c) / int64(n)) }
+	commStart := func(i int) int { return int((int64(i)*int64(n) + int64(c) - 1) / int64(c)) }
+	commEnd := func(i int) int { return int(((int64(i)+1)*int64(n) + int64(c) - 1) / int64(c)) } // exclusive
 	b := graph.NewBuilder(n)
 	edgesPerNode := cfg.AvgDegree / 2
 	for u := 0; u < n; u++ {

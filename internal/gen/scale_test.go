@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"testing"
+
+	"pegasus/internal/graph"
+)
+
+// Regression tests for the 10^5–10^6-node scale audit: capacity hints and
+// community-boundary arithmetic must not overflow, and the generators must
+// stay O(|E|) in time and scratch space at the scale tier.
+
+// TestBarabasiAlbertScale pins the exact edge count at the 10^5 tier: BA
+// never produces duplicate edges (each new node picks m distinct existing
+// targets), so |E| = m(m+1)/2 clique edges + (n-m-1)·m attachment edges.
+func TestBarabasiAlbertScale(t *testing.T) {
+	n, m := 100_000, 8
+	if testing.Short() {
+		n = 10_000
+	}
+	g := BarabasiAlbert(n, m, 501)
+	if g.NumNodes() != n {
+		t.Fatalf("|V| = %d, want %d", g.NumNodes(), n)
+	}
+	want := int64(m*(m+1)/2) + int64(n-m-1)*int64(m)
+	if g.NumEdges() != want {
+		t.Fatalf("|E| = %d, want %d", g.NumEdges(), want)
+	}
+	if _, count := graph.Components(g); count != 1 {
+		t.Fatalf("BA graph has %d components, want 1", count)
+	}
+}
+
+// TestBarabasiAlbertNearCompleteHint: with m ≈ n the naive 2*n*m capacity
+// hint would reserve O(n²); the clamped hint must still produce the correct
+// (complete) graph without over-reserving.
+func TestBarabasiAlbertNearCompleteHint(t *testing.T) {
+	n := 60
+	g := BarabasiAlbert(n, n+100, 1) // m clamps to n-1 -> complete graph
+	if want := int64(n) * int64(n-1) / 2; g.NumEdges() != want {
+		t.Fatalf("|E| = %d, want complete graph %d", g.NumEdges(), want)
+	}
+}
+
+// TestErdosRenyiEdgeCapClamp: requesting more edges than C(n,2) must clamp
+// (the comparison is in int64 so huge m does not wrap).
+func TestErdosRenyiEdgeCapClamp(t *testing.T) {
+	g := ErdosRenyi(5, 1<<30, 7)
+	if g.NumEdges() != 10 {
+		t.Fatalf("|E| = %d, want C(5,2) = 10", g.NumEdges())
+	}
+}
+
+// TestPlantedPartitionManyCommunities exercises the int64 community-boundary
+// arithmetic with a community count high enough that i*n would overflow
+// 32-bit ints, and checks every node lands inside a valid community slice
+// (Validate catches out-of-range endpoints).
+func TestPlantedPartitionManyCommunities(t *testing.T) {
+	n := 50_000
+	if testing.Short() {
+		n = 5_000
+	}
+	g := PlantedPartition(SBMConfig{
+		Nodes: n, Communities: n / 10, AvgDegree: 6, MixingP: 0.1,
+	}, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumNodes() != n {
+		t.Fatalf("|V| = %d, want %d", g.NumNodes(), n)
+	}
+	if avg := g.AvgDegree(); avg < 4 || avg > 8 {
+		t.Fatalf("average degree %.2f outside [4, 8] around target 6", avg)
+	}
+}

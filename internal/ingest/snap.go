@@ -1,0 +1,38 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pegasus/internal/graph"
+)
+
+// WriteSNAP writes g in the SNAP edge-list interchange format: a comment
+// header followed by one tab-separated "u\tv" line per undirected edge
+// (u < v). The output round-trips through Parse back to a bit-identical
+// graph (node IDs are already dense, so no remapping occurs).
+func WriteSNAP(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# Undirected graph (each unordered pair of nodes is saved once)\n# Nodes: %d Edges: %d\n# FromNodeId\tToNodeId\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	var werr error
+	buf := make([]byte, 0, 24)
+	g.Edges(func(u, v graph.NodeID) bool {
+		buf = strconv.AppendUint(buf[:0], uint64(u), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendUint(buf, uint64(v), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

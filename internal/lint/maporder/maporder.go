@@ -29,6 +29,7 @@ var Critical = []string{
 	"pegasus/internal/persist",
 	"pegasus/internal/partition",
 	"pegasus/internal/graph",
+	"pegasus/internal/ingest",
 }
 
 // Analyzer flags unordered map iteration in determinism-critical packages.
