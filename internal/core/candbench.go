@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+
+	"pegasus/internal/graph"
+	"pegasus/internal/weights"
+)
+
+// CandidateBench exposes candidate generation in isolation, for the
+// pegasus-bench candidate_gen section and the sort-vs-map equivalence
+// tests. It wraps a fresh singleton engine (uniform weights — grouping
+// never reads π) and re-seeds the engine RNG before every pass, so any two
+// passes over the same configuration consume identical random streams and
+// their outputs are directly comparable.
+type CandidateBench struct {
+	eng *engine
+	cfg Config
+}
+
+// NewCandidateBench validates cfg against g and builds the singleton state.
+func NewCandidateBench(g *graph.Graph, cfg Config) (*CandidateBench, error) {
+	cfg, err := cfg.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	return &CandidateBench{eng: newEngine(g, weights.Uniform(g.NumNodes()), cfg), cfg: cfg}, nil
+}
+
+// Alive returns the number of live supernode slots (= |V| for the
+// singleton state the bench operates on).
+func (b *CandidateBench) Alive() int { return b.eng.numSuper }
+
+// Groups runs one production (sort-based, and LSH-banded when configured)
+// candidate-generation pass for the given iteration number.
+func (b *CandidateBench) Groups(ctx context.Context, iter int) [][]uint32 {
+	b.eng.rng = rand.New(rand.NewSource(b.cfg.Seed))
+	return b.eng.candidateGroups(ctx, iter)
+}
+
+// GroupsLegacy runs the retained map-based reference implementation under
+// the same RNG discipline. Equal seeds and iteration numbers must yield
+// byte-identical output to Groups when LSH is off — the equivalence the
+// property tests and the candidate_gen bench gate assert.
+func (b *CandidateBench) GroupsLegacy(ctx context.Context, iter int) [][]uint32 {
+	b.eng.rng = rand.New(rand.NewSource(b.cfg.Seed))
+	return b.eng.candidateGroupsLegacyMap(ctx, iter)
+}

@@ -36,6 +36,18 @@ type engine struct {
 	// scratch buffers reused across merge evaluations on the main goroutine
 	pmA, pmB pairMass
 
+	// candidate-generation scratch reused across iterations (shingle.go):
+	// per-depth node-shingle vectors tagged with the seed that filled them,
+	// the packed (shingle key, slot payload) sort arrays with the radix
+	// sorter's scratch, and the per-row / per-slot LSH buffers.
+	shingleBuf  [][]uint64
+	shingleSeed []uint64
+	keyBuf      []uint64
+	slotBuf     []uint32
+	sorter      par.KeySorter
+	rowBuf      [][]uint64
+	bucketBuf   []uint64
+
 	// scorer holds the batched-round state of mergeGroup: the sampled pairs
 	// of the current round and the per-worker evaluation scratch.
 	scorer roundScorer

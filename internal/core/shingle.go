@@ -20,28 +20,80 @@ import (
 // Oversized groups are recursively re-divided with fresh hashes up to
 // MaxSplitDepth times, then randomly chopped to at most MaxGroupSize.
 // Singleton groups are discarded (nothing to merge).
+//
+// Grouping is sort-based and parallel: per-supernode shingles are packed
+// into parallel (shingle key, slot payload) arrays and stably sorted with
+// par.KeySorter, and equal-shingle runs become the groups. Because slots
+// enter every division step in ascending order and the sort is stable,
+// equal-shingle slots stay ascending — reproducing byte for byte the
+// groups the retained map-based reference (candidateGroupsLegacyMap) emits
+// for its sorted keys, for every worker count. The per-depth shingle
+// vectors, the packed key/slot arrays, the sorter's radix scratch and the
+// LSH buffers live on the engine and are reused across iterations, so
+// steady-state candidate generation allocates only the emitted group
+// slices.
+//
+// Opt-in banded MinHash-LSH (Config.LSHBands/LSHRows) replaces the single-
+// hash first division: each supernode gets an r-row signature per band
+// (minhash.FamilySeed) folded into a band-bucket key, and each bucket with
+// ≥2 supernodes seeds a candidate group, so supernodes whose closed
+// neighborhoods have Jaccard similarity s share a group with probability
+// 1-(1-s^r)^b. Buckets exceeding MaxGroupSize descend into the same
+// re-division machinery as plain shingle groups. Bands overlap, so a slot
+// may appear in several groups; the merge loop compacts dead slots away
+// between groups (see summarizeWeighted).
 
-// nodeShingles computes, for one hash function, the per-node closed
-// neighborhood min-hash: h_u = min over v ∈ N_u ∪ {u} of f(v). Each node's
-// shingle depends only on its own closed neighborhood, so the O(V+E) scan is
-// range-sharded across cfg.Workers goroutines; the output is identical for
-// any worker count.
-func (e *engine) nodeShingles(seed uint64) []uint64 {
+// nodeShinglesInto computes, for one hash function, the per-node closed
+// neighborhood min-hash: h_u = min over v ∈ N_u ∪ {u} of f(v), into out
+// (len(out) == |V|). Each node's shingle depends only on its own closed
+// neighborhood, so the O(V+E) scan is range-sharded across cfg.Workers
+// goroutines; the output is identical for any worker count.
+func (e *engine) nodeShinglesInto(seed uint64, out []uint64) {
 	h := minhash.New(seed)
-	n := e.g.NumNodes()
-	out := make([]uint64, n)
-	par.Range(e.cfg.Workers, n, func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			best := h.Uint64(uint32(u))
-			for _, v := range e.g.Neighbors(graph.NodeID(u)) {
-				if hv := h.Uint64(uint32(v)); hv < best {
-					best = hv
-				}
-			}
-			out[u] = best
-		}
+	par.Range(e.cfg.Workers, len(out), func(lo, hi int) {
+		e.shingleRange(h, out, lo, hi)
 	})
-	return out
+}
+
+// shingleRange is one worker's contiguous share of a node-shingle scan.
+//
+//pegasus:hotpath candidate generation scans all V+E per depth per iteration
+func (e *engine) shingleRange(h minhash.Hash, out []uint64, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		best := h.Uint64(uint32(u))
+		for _, v := range e.g.Neighbors(graph.NodeID(u)) {
+			if hv := h.Uint64(uint32(v)); hv < best {
+				best = hv
+			}
+		}
+		out[u] = best
+	}
+}
+
+// shingleAt returns the per-node shingle vector of one division depth,
+// computing it at most once per (iteration, depth): the engine keeps one
+// buffer per depth, tagged with the seed that filled it, and reuses it
+// across iterations instead of allocating |V| words per depth per
+// iteration.
+func (e *engine) shingleAt(ctx context.Context, iter, depth int, baseSeed uint64) []uint64 {
+	seed := baseSeed + uint64(depth)*0x9e3779b1
+	for depth >= len(e.shingleBuf) {
+		e.shingleBuf = append(e.shingleBuf, nil)
+		e.shingleSeed = append(e.shingleSeed, 0)
+	}
+	if e.shingleBuf[depth] != nil && e.shingleSeed[depth] == seed {
+		return e.shingleBuf[depth]
+	}
+	if e.shingleBuf[depth] == nil {
+		e.shingleBuf[depth] = make([]uint64, e.g.NumNodes())
+	}
+	_, sp := obs.StartSpan(ctx, "build.shingle")
+	e.nodeShinglesInto(seed, e.shingleBuf[depth])
+	sp.AttrInt("iteration", iter)
+	sp.AttrInt("depth", depth)
+	sp.End()
+	e.shingleSeed[depth] = seed
+	return e.shingleBuf[depth]
 }
 
 // superShingle folds node shingles to F(U) = min over members.
@@ -55,6 +107,53 @@ func superShingle(nodeMin []uint64, members []graph.NodeID) uint64 {
 	return best
 }
 
+// packShingleKeys fills the engine's parallel key/slot arrays with each
+// slot's shingle under the depth's node-shingle vector.
+//
+//pegasus:hotpath runs once per slot per division step of every iteration
+func (e *engine) packShingleKeys(slots []uint32, nodeMin []uint64) {
+	keys, pay := e.keyBuf[:0], e.slotBuf[:0]
+	for _, a := range slots {
+		keys = append(keys, superShingle(nodeMin, e.members[a]))
+		pay = append(pay, a)
+	}
+	e.keyBuf, e.slotBuf = keys, pay
+}
+
+// divideByShingle performs one division step: group slots by their shingle
+// under nodeMin via a parallel stable radix sort of the packed (shingle,
+// slot) keys. It returns the non-singleton groups in ascending shingle
+// order (each group's slots ascending — the input order, preserved by
+// stability since slots arrive sorted) and whether the hash split the
+// slots at all. A false split means every slot shares one shingle (e.g.
+// identical closed neighborhoods everywhere) and the caller should descend
+// with the next hash.
+func (e *engine) divideByShingle(slots []uint32, nodeMin []uint64) (groups [][]uint32, split bool) {
+	e.packShingleKeys(slots, nodeMin)
+	keys, pay := e.keyBuf, e.slotBuf
+	e.sorter.Sort(keys, pay, e.cfg.Workers)
+	if len(keys) > 0 && keys[0] == keys[len(keys)-1] {
+		return nil, false
+	}
+	for lo := 0; lo < len(keys); {
+		hi := lo + 1
+		for hi < len(keys) && keys[hi] == keys[lo] {
+			hi++
+		}
+		if hi-lo > 1 {
+			groups = append(groups, append([]uint32(nil), pay[lo:hi]...))
+		}
+		lo = hi
+	}
+	return groups, true
+}
+
+// work is one pending division step of the candidate-group recursion.
+type work struct {
+	slots []uint32
+	depth int
+}
+
 // candidateGroups produces this iteration's groups of supernodes with
 // similar connectivity (Alg. 1 line 4). ctx carries the build trace (if
 // any); the shingle scans inside record "build.shingle" spans. Tracing
@@ -65,11 +164,182 @@ func (e *engine) candidateGroups(ctx context.Context, iter int) [][]uint32 {
 	}
 	baseSeed := uint64(e.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(iter)*0x100000001b3
 
-	var result [][]uint32
-	type work struct {
-		slots []uint32
-		depth int
+	var queue []work
+	if e.cfg.LSHBands > 0 {
+		queue = e.lshSeedWork(ctx, iter, baseSeed)
 	}
+	if len(queue) == 0 {
+		// Plain shingle path — also the fallback when no LSH band produced
+		// a collision (nothing similar enough; rather than stall the
+		// iteration, divide by the single hash as if LSH were off).
+		queue = append(queue, work{slots: e.aliveSlots(), depth: 0})
+	}
+	return e.divide(ctx, iter, baseSeed, queue)
+}
+
+// divide runs the recursive re-division loop over the pending work items:
+// the first level groups by shingle (Alg. 1 line 4), deeper levels only
+// re-divide groups exceeding MaxGroupSize, and the depth cap chops
+// randomly. The queue is processed LIFO and groups are pushed in ascending
+// shingle order — the exact discipline of the legacy map-based scan, so
+// the RNG draws (chop shuffles, final exploration shuffle) happen in the
+// same order on the same slot sets.
+func (e *engine) divide(ctx context.Context, iter int, baseSeed uint64, queue []work) [][]uint32 {
+	var result [][]uint32
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if len(w.slots) <= 1 {
+			continue
+		}
+		if w.depth > 0 && len(w.slots) <= e.cfg.MaxGroupSize {
+			result = append(result, w.slots)
+			continue
+		}
+		if w.depth >= e.cfg.MaxSplitDepth {
+			// Random chop into MaxGroupSize chunks.
+			e.rng.Shuffle(len(w.slots), func(i, j int) {
+				w.slots[i], w.slots[j] = w.slots[j], w.slots[i]
+			})
+			for start := 0; start < len(w.slots); start += e.cfg.MaxGroupSize {
+				end := start + e.cfg.MaxGroupSize
+				if end > len(w.slots) {
+					end = len(w.slots)
+				}
+				if end-start > 1 {
+					result = append(result, w.slots[start:end])
+				}
+			}
+			continue
+		}
+		nm := e.shingleAt(ctx, iter, w.depth, baseSeed)
+		groups, split := e.divideByShingle(w.slots, nm)
+		if !split {
+			// The hash failed to split; descend with the next hash, which
+			// will eventually hit the depth cap and chop randomly.
+			queue = append(queue, work{slots: w.slots, depth: w.depth + 1})
+			continue
+		}
+		for _, grp := range groups {
+			queue = append(queue, work{slots: grp, depth: w.depth + 1})
+		}
+	}
+	// Deterministic processing order with a shuffle for exploration.
+	e.rng.Shuffle(len(result), func(i, j int) { result[i], result[j] = result[j], result[i] })
+	return result
+}
+
+// lshSeedWork computes the banded MinHash-LSH first division: for each of
+// LSHBands bands, every supernode folds its LSHRows row minima (fresh hash
+// functions per (iteration, band, row)) into a band-bucket key, and every
+// bucket holding ≥2 supernodes becomes a pending work item at depth 1 —
+// small buckets surface directly as candidate groups, oversized ones
+// re-divide through the standard shingle machinery. Identical slot sets
+// recurring across bands (near-duplicate neighborhoods collide everywhere)
+// are deduplicated by content hash.
+func (e *engine) lshSeedWork(ctx context.Context, iter int, baseSeed uint64) []work {
+	slots := e.aliveSlots()
+	if len(slots) <= 1 {
+		return nil
+	}
+	bands, rows := e.cfg.LSHBands, e.cfg.LSHRows
+	for len(e.rowBuf) < rows {
+		e.rowBuf = append(e.rowBuf, make([]uint64, e.g.NumNodes()))
+	}
+	if cap(e.bucketBuf) < len(slots) {
+		e.bucketBuf = make([]uint64, len(slots))
+	}
+	buckets := e.bucketBuf[:len(slots)]
+
+	var queue []work
+	seen := make(map[uint64]bool)
+	for band := 0; band < bands; band++ {
+		_, sp := obs.StartSpan(ctx, "build.lsh")
+		sp.AttrInt("iteration", iter)
+		sp.AttrInt("band", band)
+		for row := 0; row < rows; row++ {
+			e.nodeShinglesInto(minhash.FamilySeed(baseSeed, band, row), e.rowBuf[row])
+		}
+		par.Range(e.cfg.Workers, len(slots), func(lo, hi int) {
+			e.lshBucketRange(slots, e.rowBuf[:rows], buckets, lo, hi)
+		})
+		keys, pay := e.keyBuf[:0], e.slotBuf[:0]
+		keys = append(keys, buckets...)
+		pay = append(pay, slots...)
+		e.keyBuf, e.slotBuf = keys, pay
+		e.sorter.Sort(keys, pay, e.cfg.Workers)
+		groups := 0
+		for lo := 0; lo < len(keys); {
+			hi := lo + 1
+			for hi < len(keys) && keys[hi] == keys[lo] {
+				hi++
+			}
+			if hi-lo > 1 {
+				key := minhash.FoldInit
+				for i := lo; i < hi; i++ {
+					key = minhash.Fold(key, uint64(pay[i]))
+				}
+				if !seen[key] {
+					seen[key] = true
+					queue = append(queue, work{slots: append([]uint32(nil), pay[lo:hi]...), depth: 1})
+					groups++
+				}
+			}
+			lo = hi
+		}
+		sp.AttrInt("groups", groups)
+		sp.End()
+	}
+	return queue
+}
+
+// lshBucketRange fills out[i] with the band-bucket key of slots[i]: the
+// fold over rows of the minimum row hash across the slot's members'
+// closed neighborhoods.
+//
+//pegasus:hotpath runs rows×members work per alive supernode per band
+func (e *engine) lshBucketRange(slots []uint32, rows [][]uint64, out []uint64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		acc := minhash.FoldInit
+		for _, rm := range rows {
+			best := ^uint64(0)
+			for _, u := range e.members[slots[i]] {
+				if v := rm[u]; v < best {
+					best = v
+				}
+			}
+			acc = minhash.Fold(acc, best)
+		}
+		out[i] = acc
+	}
+}
+
+// compactAlive filters grp in place down to the slots still alive. LSH
+// bands overlap, so a slot merged away while processing an earlier group
+// may linger in later ones; the plain shingle path emits disjoint groups
+// and never needs this.
+func (e *engine) compactAlive(grp []uint32) []uint32 {
+	out := grp[:0]
+	for _, a := range grp {
+		if e.alive(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// candidateGroupsLegacyMap is the pre-sort, map-based grouping retained
+// verbatim as the equivalence reference: property tests and the
+// pegasus-bench candidate_gen section check that the sort-based pipeline
+// reproduces its output byte for byte (and the golden-fingerprint pins in
+// parallel_test.go inherit from it). It is never called by Summarize.
+func (e *engine) candidateGroupsLegacyMap(ctx context.Context, iter int) [][]uint32 {
+	if e.cfg.RandomGroups {
+		return e.randomGroups()
+	}
+	baseSeed := uint64(e.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(iter)*0x100000001b3
+
+	var result [][]uint32
 	queue := []work{{slots: e.aliveSlots(), depth: 0}}
 
 	// nodeMin per depth, computed lazily: all groups at the same depth share
@@ -79,11 +349,8 @@ func (e *engine) candidateGroups(ctx context.Context, iter int) [][]uint32 {
 		if nm, ok := nodeMinByDepth[depth]; ok {
 			return nm
 		}
-		_, sp := obs.StartSpan(ctx, "build.shingle")
-		nm := e.nodeShingles(baseSeed + uint64(depth)*0x9e3779b1)
-		sp.AttrInt("iteration", iter)
-		sp.AttrInt("depth", depth)
-		sp.End()
+		nm := make([]uint64, e.g.NumNodes())
+		e.nodeShinglesInto(baseSeed+uint64(depth)*0x9e3779b1, nm)
 		nodeMinByDepth[depth] = nm
 		return nm
 	}
@@ -94,14 +361,11 @@ func (e *engine) candidateGroups(ctx context.Context, iter int) [][]uint32 {
 		if len(w.slots) <= 1 {
 			continue
 		}
-		// The first level always groups by shingle (Alg. 1 line 4); deeper
-		// levels only re-divide groups that exceed MaxGroupSize.
 		if w.depth > 0 && len(w.slots) <= e.cfg.MaxGroupSize {
 			result = append(result, w.slots)
 			continue
 		}
 		if w.depth >= e.cfg.MaxSplitDepth {
-			// Random chop into MaxGroupSize chunks.
 			e.rng.Shuffle(len(w.slots), func(i, j int) {
 				w.slots[i], w.slots[j] = w.slots[j], w.slots[i]
 			})
@@ -123,16 +387,13 @@ func (e *engine) candidateGroups(ctx context.Context, iter int) [][]uint32 {
 			byShingle[f] = append(byShingle[f], a)
 		}
 		if len(byShingle) == 1 {
-			// The hash failed to split (e.g. identical closed neighborhoods
-			// everywhere); descend with the next hash, which will eventually
-			// hit the depth cap and chop randomly.
 			queue = append(queue, work{slots: w.slots, depth: w.depth + 1})
 			continue
 		}
 		// Map iteration order is randomized; sort keys so runs with the same
 		// seed produce the same groups in the same order.
 		keys := make([]uint64, 0, len(byShingle))
-		for f := range byShingle { //lint:ordered keys are collected then sorted immediately below
+		for f := range byShingle { //lint:ordered legacy reference implementation: keys are collected then sorted immediately below
 			keys = append(keys, f)
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
@@ -142,7 +403,6 @@ func (e *engine) candidateGroups(ctx context.Context, iter int) [][]uint32 {
 			}
 		}
 	}
-	// Deterministic processing order with a shuffle for exploration.
 	e.rng.Shuffle(len(result), func(i, j int) { result[i], result[j] = result[j], result[i] })
 	return result
 }

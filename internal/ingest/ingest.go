@@ -213,7 +213,7 @@ func ParseBytes(data []byte, opt Options) (*Result, error) {
 	for _, e := range edges {
 		ids = append(ids, e.U, e.V)
 	}
-	sortUint64(ids, workers)
+	par.SortUint64(ids, workers)
 	ids = compactUnique(ids)
 	if len(ids) > math.MaxUint32 {
 		return nil, fmt.Errorf("ingest: %d distinct node IDs exceed the dense uint32 space: %w", len(ids), ErrLimit)
@@ -243,7 +243,7 @@ func ParseBytes(data []byte, opt Options) (*Result, error) {
 
 	// Phase 4 — deterministic parallel merge: block sorts, pairwise merge
 	// rounds, then one canonical dedup pass.
-	sortUint64(packed, workers)
+	par.SortUint64(packed, workers)
 	deduped, dups := dedupSorted(packed)
 	st.Duplicates = dups
 	st.Edges = int64(len(deduped))
@@ -396,72 +396,6 @@ func parseUint(line []byte, i int, lineOff int64) (uint64, int, *parseError) {
 		v = v*10 + d
 	}
 	return v, i, nil
-}
-
-// sortUint64 sorts s ascending with up to `workers` goroutines: the slice is
-// block-sorted in parallel, then pairwise merge rounds (each merge pair on
-// its own goroutine) reduce the runs to one. The result is the plain sorted
-// order, so it cannot depend on the worker count.
-func sortUint64(s []uint64, workers int) {
-	const minBlock = 1 << 15
-	blocks := workers
-	if max := len(s) / minBlock; blocks > max {
-		blocks = max
-	}
-	if blocks <= 1 {
-		slices.Sort(s)
-		return
-	}
-	// Block boundaries.
-	bounds := make([]int, blocks+1)
-	for b := 0; b <= blocks; b++ {
-		bounds[b] = int(int64(b) * int64(len(s)) / int64(blocks))
-	}
-	par.ForEach(workers, blocks, func(_, b int) {
-		slices.Sort(s[bounds[b]:bounds[b+1]])
-	})
-	// Pairwise merge rounds between s and a scratch buffer.
-	scratch := make([]uint64, len(s))
-	src, dst := s, scratch
-	for len(bounds) > 2 {
-		nb := make([]int, 0, len(bounds)/2+1)
-		nb = append(nb, 0)
-		pairs := (len(bounds) - 1) / 2
-		par.ForEach(workers, pairs, func(_, p int) {
-			lo, mid, hi := bounds[2*p], bounds[2*p+1], bounds[2*p+2]
-			mergeUint64(dst[lo:hi], src[lo:mid], src[mid:hi])
-		})
-		for p := 0; p < pairs; p++ {
-			nb = append(nb, bounds[2*p+2])
-		}
-		if len(bounds)%2 == 0 { // odd run out: carry it over
-			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
-			copy(dst[lo:hi], src[lo:hi])
-			nb = append(nb, hi)
-		}
-		bounds = nb
-		src, dst = dst, src
-	}
-	if &src[0] != &s[0] {
-		copy(s, src)
-	}
-}
-
-// mergeUint64 merges two sorted runs into dst (len(dst) == len(a)+len(b)).
-func mergeUint64(dst, a, b []uint64) {
-	i, j, k := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			dst[k] = a[i]
-			i++
-		} else {
-			dst[k] = b[j]
-			j++
-		}
-		k++
-	}
-	copy(dst[k:], a[i:])
-	copy(dst[k+len(a)-i:], b[j:])
 }
 
 // compactUnique removes adjacent duplicates from a sorted slice in place.

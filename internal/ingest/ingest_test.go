@@ -12,6 +12,7 @@ import (
 
 	"pegasus/internal/gen"
 	"pegasus/internal/graph"
+	"pegasus/internal/par"
 )
 
 func writeFile(path string, data []byte) error {
@@ -337,8 +338,8 @@ func TestSortUint64MatchesSequential(t *testing.T) {
 			a[i] = rng.Uint64() % 1000
 		}
 		b := append([]uint64(nil), a...)
-		sortUint64(a, 8)
-		sortUint64(b, 1)
+		par.SortUint64(a, 8)
+		par.SortUint64(b, 1)
 		if !equalU64(a, b) {
 			t.Fatalf("size %d: parallel sort differs from sequential", size)
 		}

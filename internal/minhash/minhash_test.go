@@ -66,6 +66,50 @@ func TestMinPanicsOnEmpty(t *testing.T) {
 	New(1).Min(nil)
 }
 
+// TestFamilySeedDistinct: a banded family must hand every (band, row)
+// coordinate its own seed — a repeat would correlate two signature rows and
+// silently flatten the 1-(1-s^r)^b collision curve.
+func TestFamilySeedDistinct(t *testing.T) {
+	seen := make(map[uint64][2]int)
+	for band := 0; band < 64; band++ {
+		for row := 0; row < 64; row++ {
+			s := FamilySeed(7, band, row)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("FamilySeed collision: (%d,%d) and (%d,%d)", band, row, prev[0], prev[1])
+			}
+			seen[s] = [2]int{band, row}
+		}
+	}
+	if FamilySeed(7, 1, 2) == FamilySeed(8, 1, 2) {
+		t.Error("different base seeds gave the same member seed")
+	}
+}
+
+// TestFoldBucketSemantics: folding equal row-minima sequences must agree
+// (that is what makes a band bucket), and the fold must be order- and
+// value-sensitive so unequal signatures land apart.
+func TestFoldBucketSemantics(t *testing.T) {
+	fold := func(xs ...uint64) uint64 {
+		acc := FoldInit
+		for _, x := range xs {
+			acc = Fold(acc, x)
+		}
+		return acc
+	}
+	if fold(3, 5, 9) != fold(3, 5, 9) {
+		t.Fatal("equal signatures folded to different buckets")
+	}
+	if fold(3, 5) == fold(5, 3) {
+		t.Error("fold is order-insensitive; permuted rows would collide")
+	}
+	if fold(3, 5) == fold(3, 6) {
+		t.Error("fold ignored a differing row minimum")
+	}
+	if fold(0) == fold(0, 0) {
+		t.Error("fold ignored signature length")
+	}
+}
+
 func TestJaccardEstimate(t *testing.T) {
 	// The probability two sets share a min-hash equals their Jaccard
 	// similarity. Estimate over many seeds and compare.

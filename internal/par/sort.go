@@ -1,0 +1,232 @@
+package par
+
+import "slices"
+
+// Parallel sorting: per-block sorts followed by pairwise merge rounds.
+// Originally built (and property-tested) for the ingest pipeline's packed
+// edge keys, now shared with the engine's sort-based candidate grouping.
+// Both entry points guarantee the same contract as the rest of this
+// package: the output is identical for every worker count.
+
+// sortMinBlock is the smallest block worth its own goroutine: below this
+// the spawn/merge overhead exceeds the sorting work and we sort inline.
+const sortMinBlock = 1 << 15
+
+// SortUint64 sorts s ascending with up to `workers` goroutines (0 =
+// GOMAXPROCS): the slice is cut into equal blocks, each block is sorted
+// concurrently, and sorted blocks are combined by pairwise merge rounds.
+// Identical multisets produce identical outputs for any worker count
+// (uint64 values are indistinguishable under ==, so ties cannot reorder
+// observably).
+func SortUint64(s []uint64, workers int) {
+	blocks := blockCount(len(s), workers)
+	if blocks <= 1 {
+		slices.Sort(s)
+		return
+	}
+	bounds := blockBounds(len(s), blocks)
+	ForEach(workers, blocks, func(_, b int) {
+		slices.Sort(s[bounds[b]:bounds[b+1]])
+	})
+	scratch := make([]uint64, len(s))
+	mergeRounds(s, scratch, bounds, workers, func(dst, a, b []uint64) {
+		i, j, k := 0, 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i] <= b[j] {
+				dst[k] = a[i]
+				i++
+			} else {
+				dst[k] = b[j]
+				j++
+			}
+			k++
+		}
+		copy(dst[k:], a[i:])
+		copy(dst[k+len(a)-i:], b[j:])
+	})
+}
+
+// SortStableFunc sorts s by cmp with up to `workers` goroutines (0 =
+// GOMAXPROCS). The sort is stable: elements comparing equal keep their
+// original relative order. Stability is what makes the result a pure
+// function of (input, cmp) — every block partitioning merges back to the
+// one stable permutation, so the output is bit-identical for any worker
+// count even when cmp has ties.
+func SortStableFunc[T any](s []T, workers int, cmp func(a, b T) int) {
+	blocks := blockCount(len(s), workers)
+	if blocks <= 1 {
+		slices.SortStableFunc(s, cmp)
+		return
+	}
+	bounds := blockBounds(len(s), blocks)
+	ForEach(workers, blocks, func(_, b int) {
+		slices.SortStableFunc(s[bounds[b]:bounds[b+1]], cmp)
+	})
+	scratch := make([]T, len(s))
+	mergeRounds(s, scratch, bounds, workers, func(dst, a, b []T) {
+		// Left run wins ties: a's elements precede b's in the original
+		// slice, so <= preserves their relative order (stability).
+		i, j, k := 0, 0, 0
+		for i < len(a) && j < len(b) {
+			if cmp(a[i], b[j]) <= 0 {
+				dst[k] = a[i]
+				i++
+			} else {
+				dst[k] = b[j]
+				j++
+			}
+			k++
+		}
+		copy(dst[k:], a[i:])
+		copy(dst[k+len(a)-i:], b[j:])
+	})
+}
+
+const (
+	radixBits    = 8
+	radixBuckets = 1 << radixBits
+	radixPasses  = 64 / radixBits
+)
+
+// KeySorter stably sorts parallel (uint64 key, uint32 payload) arrays by
+// key with an LSD radix sort, the workhorse of the engine's sort-based
+// candidate grouping: shingles are the keys, supernode slots the payloads,
+// and stability means equal-shingle slots keep their input order — so the
+// output is the unique stable permutation, bit-identical for every worker
+// count. The zero value is ready to use; the ping-pong and histogram
+// scratch is retained across calls, so steady-state sorts allocate nothing.
+type KeySorter struct {
+	k      []uint64
+	v      []uint32
+	counts []int
+}
+
+// Sort reorders keys ascending and applies the same permutation to vals
+// (len(vals) must equal len(keys)). Each of the eight byte-digit passes
+// counts per block in parallel, computes global stable offsets serially
+// (digit-major, block-minor — a few KiB of work), and scatters in parallel:
+// an element's destination depends only on how many equal-digit elements
+// precede it in the array, never on the block decomposition. Passes whose
+// digit is constant across all keys are skipped.
+func (s *KeySorter) Sort(keys []uint64, vals []uint32, workers int) {
+	n := len(keys)
+	if len(vals) != n {
+		panic("par: KeySorter key/value length mismatch")
+	}
+	if n < 2 {
+		return
+	}
+	blocks := blockCount(n, workers)
+	if blocks < 1 {
+		blocks = 1
+	}
+	if cap(s.k) < n {
+		s.k = make([]uint64, n)
+		s.v = make([]uint32, n)
+	}
+	if len(s.counts) < blocks*radixBuckets {
+		s.counts = make([]int, blocks*radixBuckets)
+	}
+	bounds := blockBounds(n, blocks)
+	srcK, srcV := keys, vals
+	dstK, dstV := s.k[:n], s.v[:n]
+	for pass := 0; pass < radixPasses; pass++ {
+		shift := pass * radixBits
+		counts := s.counts[:blocks*radixBuckets]
+		clear(counts)
+		count := func(b int) {
+			c := counts[b*radixBuckets : (b+1)*radixBuckets]
+			for _, k := range srcK[bounds[b]:bounds[b+1]] {
+				c[int(k>>shift)&(radixBuckets-1)]++
+			}
+		}
+		if blocks == 1 {
+			count(0)
+		} else {
+			ForEach(workers, blocks, func(_, b int) { count(b) })
+		}
+		// Turn counts into global stable start offsets (digit-major,
+		// block-minor). A digit owning every key means the pass is a no-op.
+		skip := false
+		pos := 0
+		for d := 0; d < radixBuckets && !skip; d++ {
+			dTotal := 0
+			for b := 0; b < blocks; b++ {
+				i := b*radixBuckets + d
+				dTotal += counts[i]
+				counts[i], pos = pos, pos+counts[i]
+			}
+			skip = dTotal == n
+		}
+		if skip {
+			continue
+		}
+		scatter := func(b int) {
+			c := counts[b*radixBuckets : (b+1)*radixBuckets]
+			for i := bounds[b]; i < bounds[b+1]; i++ {
+				d := int(srcK[i]>>shift) & (radixBuckets - 1)
+				j := c[d]
+				c[d]++
+				dstK[j] = srcK[i]
+				dstV[j] = srcV[i]
+			}
+		}
+		if blocks == 1 {
+			scatter(0)
+		} else {
+			ForEach(workers, blocks, func(_, b int) { scatter(b) })
+		}
+		srcK, srcV, dstK, dstV = dstK, dstV, srcK, srcV
+	}
+	if &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}
+
+// blockCount picks how many sorted blocks to produce for n elements.
+func blockCount(n, workers int) int {
+	blocks := Workers(workers)
+	if max := n / sortMinBlock; blocks > max {
+		blocks = max
+	}
+	return blocks
+}
+
+// blockBounds cuts [0,n) into `blocks` near-equal contiguous ranges.
+func blockBounds(n, blocks int) []int {
+	bounds := make([]int, blocks+1)
+	for b := 0; b <= blocks; b++ {
+		bounds[b] = int(int64(b) * int64(n) / int64(blocks))
+	}
+	return bounds
+}
+
+// mergeRounds combines adjacent sorted runs of s (delimited by bounds) with
+// pairwise merge rounds between s and scratch, using `merge` to combine two
+// adjacent runs, and leaves the fully merged result in s.
+func mergeRounds[T any](s, scratch []T, bounds []int, workers int, merge func(dst, a, b []T)) {
+	src, dst := s, scratch
+	for len(bounds) > 2 {
+		nb := make([]int, 0, len(bounds)/2+1)
+		nb = append(nb, 0)
+		pairs := (len(bounds) - 1) / 2
+		ForEach(workers, pairs, func(_, p int) {
+			lo, mid, hi := bounds[2*p], bounds[2*p+1], bounds[2*p+2]
+			merge(dst[lo:hi], src[lo:mid], src[mid:hi])
+		})
+		for p := 0; p < pairs; p++ {
+			nb = append(nb, bounds[2*p+2])
+		}
+		if len(bounds)%2 == 0 { // odd run out: carry it over
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			copy(dst[lo:hi], src[lo:hi])
+			nb = append(nb, hi)
+		}
+		bounds = nb
+		src, dst = dst, src
+	}
+	if len(s) > 0 && &src[0] != &s[0] {
+		copy(s, src)
+	}
+}

@@ -1,0 +1,126 @@
+package par
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestSortUint64MatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, size := range []int{0, 1, 1000, 1 << 16, 1<<17 + 991} {
+		a := make([]uint64, size)
+		for i := range a {
+			a[i] = rng.Uint64() % 512 // dense duplicates
+		}
+		b := slices.Clone(a)
+		want := slices.Clone(a)
+		slices.Sort(want)
+		for _, w := range []int{1, 2, 3, 8} {
+			copy(b, a)
+			SortUint64(b, w)
+			if !slices.Equal(b, want) {
+				t.Fatalf("size %d workers %d: parallel sort differs from slices.Sort", size, w)
+			}
+		}
+	}
+}
+
+// TestSortStableFuncWorkerInvariance is the contract the candidate-grouping
+// pipeline leans on: with ties under cmp, every worker count must reproduce
+// the stable permutation bit for bit.
+func TestSortStableFuncWorkerInvariance(t *testing.T) {
+	type pair struct {
+		key uint64
+		pos int
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range []int{0, 1, 100, 70000, 1<<17 + 13} {
+		s := make([]pair, size)
+		for i := range s {
+			// Few distinct keys: lots of ties, so stability is load-bearing.
+			s[i] = pair{key: rng.Uint64() % 17, pos: i}
+		}
+		cmp := func(a, b pair) int {
+			switch {
+			case a.key < b.key:
+				return -1
+			case a.key > b.key:
+				return 1
+			}
+			return 0
+		}
+		want := slices.Clone(s)
+		slices.SortStableFunc(want, cmp)
+		for _, w := range []int{1, 2, 5, 8} {
+			got := slices.Clone(s)
+			SortStableFunc(got, w, cmp)
+			if !slices.Equal(got, want) {
+				t.Fatalf("size %d workers %d: stable sort not worker-count invariant", size, w)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i-1].key == got[i].key && got[i-1].pos > got[i].pos {
+					t.Fatalf("size %d workers %d: stability violated at %d", size, w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestKeySorterMatchesStableReference: the radix sorter must produce the
+// stable permutation (equal keys keep input order) for every worker count,
+// including reuse of one sorter across differently-sized inputs.
+func TestKeySorterMatchesStableReference(t *testing.T) {
+	type kv struct {
+		k uint64
+		v uint32
+	}
+	rng := rand.New(rand.NewSource(23))
+	var s KeySorter // reused across sizes: scratch growth must not corrupt
+	for _, size := range []int{0, 1, 2, 500, 70000, 1<<17 + 41} {
+		ref := make([]kv, size)
+		for i := range ref {
+			// Mixed regimes: dense duplicates in half the keys, full-width
+			// hashes in the rest (exercises both skip and scatter passes).
+			if i%2 == 0 {
+				ref[i] = kv{k: rng.Uint64() % 97, v: uint32(i)}
+			} else {
+				ref[i] = kv{k: rng.Uint64(), v: uint32(i)}
+			}
+		}
+		want := slices.Clone(ref)
+		slices.SortStableFunc(want, func(a, b kv) int {
+			switch {
+			case a.k < b.k:
+				return -1
+			case a.k > b.k:
+				return 1
+			}
+			return 0
+		})
+		for _, w := range []int{1, 2, 3, 8} {
+			keys := make([]uint64, size)
+			vals := make([]uint32, size)
+			for i, e := range ref {
+				keys[i], vals[i] = e.k, e.v
+			}
+			s.Sort(keys, vals, w)
+			for i := range want {
+				if keys[i] != want[i].k || vals[i] != want[i].v {
+					t.Fatalf("size %d workers %d: mismatch at %d: (%d,%d) want (%d,%d)",
+						size, w, i, keys[i], vals[i], want[i].k, want[i].v)
+				}
+			}
+		}
+	}
+}
+
+func TestKeySorterLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on key/value length mismatch")
+		}
+	}()
+	var s KeySorter
+	s.Sort(make([]uint64, 3), make([]uint32, 2), 1)
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"pegasus/internal/graph"
 	"pegasus/internal/obs"
+	"pegasus/internal/queries"
 )
 
 // BatchRequest is the JSON body of POST /v1/query/batch: one query kind,
@@ -62,9 +64,10 @@ type BatchResponse struct {
 // handleBatch answers POST /v1/query/batch. One backend generation is
 // snapshotted for the whole batch, the nodes are routed and grouped by
 // shard in a single pass, and each shard group runs on its own goroutine
-// with one shared query session, so the per-query precompute (the RWR/PHP
-// weighted-degree scan) is paid once per (shard, batch) instead of once per
-// node. Individual computations still go through the per-item cache with
+// with a small pool of query sessions, so the per-query precompute (the
+// RWR/PHP weighted-degree scan) is paid once per (session, batch) instead
+// of once per node while cache misses within one group still compute
+// concurrently. Individual computations go through the per-item cache with
 // singleflight dedup and the bounded worker pool.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
@@ -153,31 +156,64 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// runShardGroup answers one shard's slice of a batch sequentially on the
-// calling goroutine. The group shares a single query session (amortized
-// precompute + scratch reuse across the group's cache misses); each item
-// still takes its own cache/singleflight lookup, and every computation
-// acquires the bounded worker pool inside its compute closure, so a large
-// batch cannot exceed the pool any more than single queries can. Item
-// results land in disjoint items[i] slots, so groups never contend.
+// runShardGroup answers one shard's slice of a batch with a per-group
+// session pool of min(len(idxs), Pool.Size()) workers. Sessions are not
+// safe for concurrent use, so every worker drives its own (cheap until
+// first use) and pulls items off a shared atomic cursor; previously one
+// session processed the whole group sequentially, which serialized a
+// single-shard batch of all cache misses no matter how many worker-pool
+// slots were free. Capping the session count at the pool size keeps a
+// group from holding more sessions than computations the pool can admit.
+// Each item still takes its own cache/singleflight lookup, and every
+// computation acquires the bounded worker pool inside its compute closure,
+// so a large batch cannot exceed the pool any more than single queries
+// can. Item results land in disjoint items[i] slots, so neither the
+// group's workers nor concurrent groups contend.
 func (s *Server) runShardGroup(ctx context.Context, box *backendBox, kind, metric string, p queryParams, shard int, idxs []int, items []BatchItem) {
-	sess, err := box.be.session(shard)
-	if err != nil {
-		for _, i := range idxs {
-			items[i].Error = err.Error()
-		}
-		return
+	workers := len(idxs)
+	if n := s.pool.Size(); workers > n {
+		workers = n
 	}
-	for _, i := range idxs {
-		it := &items[i]
-		key, compute := s.plan(box, sess, kind, metric, graph.NodeID(it.Node), shard, p)
-		val, status, err := s.cache.GetOrCompute(ctx, key, func() (any, error) { return compute(ctx) })
+	// Sessions are created up front: session() fails only for an unroutable
+	// shard, which fails every item of the group — the pre-pool semantics.
+	sessions := make([]queries.Session, workers)
+	for w := range sessions {
+		sess, err := box.be.session(shard)
 		if err != nil {
-			it.Error = queryErrorString(err)
-			continue
+			for _, i := range idxs {
+				items[i].Error = err.Error()
+			}
+			return
 		}
-		s.metrics.ObserveCache(status)
-		it.Cached = status == CacheHit
-		fillResult(&it.Scores, &it.Dist, &it.Top, kind, val)
+		sessions[w] = sess
 	}
+	var next atomic.Int64
+	run := func(sess queries.Session) {
+		for {
+			k := int(next.Add(1)) - 1
+			if k >= len(idxs) {
+				return
+			}
+			it := &items[idxs[k]]
+			key, compute := s.plan(box, sess, kind, metric, graph.NodeID(it.Node), shard, p)
+			val, status, err := s.cache.GetOrCompute(ctx, key, func() (any, error) { return compute(ctx) })
+			if err != nil {
+				it.Error = queryErrorString(err)
+				continue
+			}
+			s.metrics.ObserveCache(status)
+			it.Cached = status == CacheHit
+			fillResult(&it.Scores, &it.Dist, &it.Top, kind, val)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, sess := range sessions[1:] {
+		wg.Add(1)
+		go func(sess queries.Session) {
+			defer wg.Done()
+			run(sess)
+		}(sess)
+	}
+	run(sessions[0])
+	wg.Wait()
 }

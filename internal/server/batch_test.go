@@ -417,3 +417,69 @@ func TestBatchTimeoutBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchSingleShardSessionPool covers the pooled-session path: a
+// single-shard batch of cache misses used to run sequentially through one
+// queries.Session; now the shard group fans out over a session pool
+// bounded by the worker pool. With the cache disabled every item
+// recomputes on its own session concurrently — the -race CI passes make
+// this the data-race check — and the pooled answers must stay bit-identical
+// to a sequential (Workers: 1) server's and to the reference computation
+// on the underlying summary.
+func TestBatchSingleShardSessionPool(t *testing.T) {
+	g := testGraph()
+	build := func(workers int) *Server {
+		t.Helper()
+		s, err := New(context.Background(), g, Config{
+			BudgetRatio:  0.5,
+			Seed:         7,
+			Workers:      workers,
+			CacheEntries: -1, // no cache: every batch item computes
+		})
+		if err != nil {
+			t.Fatalf("build server (workers=%d): %v", workers, err)
+		}
+		return s
+	}
+	pooled := build(4)
+	seq := build(1)
+
+	nodes := make([]uint32, 24)
+	for i := range nodes {
+		nodes[i] = uint32((i * 11) % g.NumNodes())
+	}
+	run := func(s *Server) BatchResponse {
+		res, raw := postJSON(t, s.Handler(), "/v1/query/batch", BatchRequest{Kind: "rwr", Nodes: nodes})
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", res.StatusCode, raw)
+		}
+		var resp BatchResponse
+		decodeInto(t, raw, &resp)
+		return resp
+	}
+	rp, rs := run(pooled), run(seq)
+	if rp.ShardGroups != 1 || rs.ShardGroups != 1 {
+		t.Fatalf("shard_groups = %d/%d, want 1 (single-shard backend)", rp.ShardGroups, rs.ShardGroups)
+	}
+	sb := pooled.current().be.(*summaryBackend)
+	for i := range rp.Items {
+		a, b := rp.Items[i], rs.Items[i]
+		if a.Error != "" || b.Error != "" {
+			t.Fatalf("item %d failed: pooled=%q sequential=%q", i, a.Error, b.Error)
+		}
+		want, err := queries.SummaryRWR(sb.s, graph.NodeID(a.Node), queries.RWRConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Scores) != len(b.Scores) || len(a.Scores) != len(want) {
+			t.Fatalf("item %d score lengths differ: %d pooled, %d sequential, %d reference",
+				i, len(a.Scores), len(b.Scores), len(want))
+		}
+		for j := range a.Scores {
+			if a.Scores[j] != b.Scores[j] || a.Scores[j] != want[j] {
+				t.Fatalf("item %d score[%d]: pooled %g, sequential %g, reference %g — pooled sessions must not perturb answers",
+					i, j, a.Scores[j], b.Scores[j], want[j])
+			}
+		}
+	}
+}
